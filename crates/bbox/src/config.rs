@@ -1,0 +1,112 @@
+//! B-BOX configuration.
+
+/// Minimum-fill policy for non-root nodes (§5).
+///
+/// The standard B-tree minimum of B/2 is recommended for insert-mostly
+/// workloads; B/4 gives O(1) amortized cost under mixed insertions and
+/// deletions (at the price of a taller tree and slightly longer labels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Minimum fill B/2 — the classic constraint, default.
+    Half,
+    /// Minimum fill B/4 — churn-resistant variant.
+    Quarter,
+}
+
+/// Structural parameters of a B-BOX.
+#[derive(Clone, Copy, Debug)]
+pub struct BBoxConfig {
+    /// Maximum records per leaf (the paper's B − 1).
+    pub leaf_capacity: usize,
+    /// Maximum children per internal node (the paper's B − 1).
+    pub internal_capacity: usize,
+    /// Minimum-fill policy for non-root nodes.
+    pub fill: FillPolicy,
+    /// Maintain per-entry size fields for ordinal labeling (B-BOX-O).
+    pub ordinal: bool,
+}
+
+impl BBoxConfig {
+    /// Derive capacities from the block size using the on-disk node layout
+    /// (see `node.rs`): leaves store 8-byte LIDs, internal nodes store
+    /// 4-byte child pointers plus 8-byte size fields, after a 7-byte header.
+    pub fn from_block_size(block_size: usize) -> Self {
+        let payload = block_size - crate::node::HEADER_SIZE;
+        let leaf_capacity = payload / crate::node::LEAF_ENTRY_SIZE;
+        let internal_capacity = payload / crate::node::INTERNAL_ENTRY_SIZE;
+        assert!(leaf_capacity >= 4, "block too small for a B-BOX leaf");
+        assert!(internal_capacity >= 4, "block too small for a B-BOX node");
+        Self {
+            leaf_capacity,
+            internal_capacity,
+            fill: FillPolicy::Half,
+            ordinal: false,
+        }
+    }
+
+    /// Enable ordinal labeling support (B-BOX-O).
+    pub fn with_ordinal(mut self) -> Self {
+        self.ordinal = true;
+        self
+    }
+
+    /// Use the B/4 minimum-fill policy.
+    pub fn with_fill(mut self, fill: FillPolicy) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Minimum records in a non-root leaf.
+    pub fn min_leaf(&self) -> usize {
+        self.min_of(self.leaf_capacity)
+    }
+
+    /// Minimum children in a non-root internal node.
+    pub fn min_internal(&self) -> usize {
+        self.min_of(self.internal_capacity)
+    }
+
+    fn min_of(&self, cap: usize) -> usize {
+        let m = match self.fill {
+            FillPolicy::Half => cap / 2,
+            FillPolicy::Quarter => cap / 4,
+        };
+        // A floor of 2 guarantees every underfull non-root node has a
+        // sibling to borrow from or merge with.
+        m.max(2)
+    }
+
+    /// Validate internal consistency (merge must always fit, etc.).
+    pub fn validate(&self) {
+        assert!(self.min_leaf() * 2 <= self.leaf_capacity + 1);
+        assert!(self.min_internal() * 2 <= self.internal_capacity + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_follow_block_size() {
+        let c = BBoxConfig::from_block_size(8192);
+        assert_eq!(c.leaf_capacity, (8192 - 7) / 8);
+        assert_eq!(c.internal_capacity, (8192 - 7) / 12);
+        c.validate();
+    }
+
+    #[test]
+    fn fill_policy_minimums() {
+        let c = BBoxConfig::from_block_size(256);
+        assert_eq!(c.min_leaf(), c.leaf_capacity / 2);
+        let q = c.with_fill(FillPolicy::Quarter);
+        assert_eq!(q.min_leaf(), c.leaf_capacity / 4);
+        q.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_blocks_rejected() {
+        BBoxConfig::from_block_size(24);
+    }
+}

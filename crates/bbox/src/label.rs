@@ -1,0 +1,120 @@
+//! Multi-component B-BOX labels.
+
+/// A B-BOX label: the vector of 0-based child ordinals along the
+/// root-to-leaf path, root component first (e.g. `(1, 3, 2)` in Figure 4).
+///
+/// Labels of records in the same tree always have the same number of
+/// components (all leaves sit at the same depth), and compare
+/// lexicographically. The paper's Theorem 5.1 bounds the encoded length at
+/// `log N + 1 + ⌊(log N − 1)/(log B − 1)⌋` bits; [`PathLabel::bits`]
+/// computes the exact encoded length for given fan-outs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathLabel(pub Vec<u32>);
+
+impl PathLabel {
+    /// Number of components (= height of the tree when issued).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the label has no components (never true for a real label).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Encoded bit length: the root component takes ⌈log₂ root_fanout⌉ bits,
+    /// every other component ⌈log₂ fanout⌉ bits (Theorem 5.1's accounting).
+    pub fn bits(&self, root_fanout: usize, fanout: usize) -> u32 {
+        if self.0.is_empty() {
+            return 0;
+        }
+        let root_bits = ceil_log2(root_fanout.max(2));
+        let rest_bits = ceil_log2(fanout.max(2));
+        root_bits + (self.0.len() as u32 - 1) * rest_bits
+    }
+
+    /// Pack into a single `u64` when it fits in `total_bits ≤ 64` using the
+    /// same per-component widths as [`PathLabel::bits`]. Packed labels of
+    /// equal component count compare like the label itself.
+    pub fn pack(&self, root_fanout: usize, fanout: usize) -> Option<u64> {
+        let total = self.bits(root_fanout, fanout);
+        if total > 64 || self.0.is_empty() {
+            return None;
+        }
+        let rest_bits = ceil_log2(fanout.max(2));
+        let mut packed = self.0[0] as u64;
+        for &c in &self.0[1..] {
+            debug_assert!((c as u64) < (1u64 << rest_bits));
+            packed = (packed << rest_bits) | c as u64;
+        }
+        Some(packed)
+    }
+}
+
+impl std::fmt::Debug for PathLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+pub(crate) fn ceil_log2(x: usize) -> u32 {
+    debug_assert!(x >= 1);
+    (usize::BITS - (x - 1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lbl(v: &[u32]) -> PathLabel {
+        PathLabel(v.to_vec())
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(lbl(&[1, 3, 2]) < lbl(&[1, 3, 3]));
+        assert!(lbl(&[1, 3, 2]) < lbl(&[2, 0, 0]));
+        assert!(lbl(&[0, 9, 9]) < lbl(&[1, 0, 0]));
+        assert_eq!(lbl(&[1, 2]), lbl(&[1, 2]));
+    }
+
+    #[test]
+    fn bit_accounting() {
+        // root fanout 2 → 1 bit; fanout 16 → 4 bits per component.
+        assert_eq!(lbl(&[1, 3, 2]).bits(2, 16), 1 + 2 * 4);
+        assert_eq!(lbl(&[1]).bits(2, 16), 1);
+        // Theorem 5.1 worst case: f_r = 2 maximizes the bound.
+        assert!(lbl(&[1, 3, 2]).bits(2, 16) >= lbl(&[1, 3, 2]).bits(16, 16) - 3);
+    }
+
+    #[test]
+    fn packing_preserves_order() {
+        let a = lbl(&[0, 7, 3]);
+        let b = lbl(&[1, 0, 0]);
+        let pa = a.pack(2, 8).unwrap();
+        let pb = b.pack(2, 8).unwrap();
+        assert!(pa < pb);
+    }
+
+    #[test]
+    fn packing_refuses_oversize() {
+        let long = PathLabel(vec![1; 40]);
+        assert!(long.pack(4, 256).is_none());
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+}

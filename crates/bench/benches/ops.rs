@@ -1,0 +1,144 @@
+//! Criterion wall-clock microbenchmarks for the core operations.
+//!
+//! The paper's metric is simulated block I/Os (see the `fig*`/`tab*`/`abl*`
+//! binaries); these benches complement them with wall-time per operation on
+//! the in-memory substrate, confirming the same relative ordering.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use boxes_core::bbox::BBoxConfig;
+use boxes_core::naive::NaiveConfig;
+use boxes_core::pager::{Pager, PagerConfig};
+use boxes_core::wbox::WBoxConfig;
+
+const BS: usize = 8192;
+const N: usize = 100_000;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+
+    let pager = Pager::new(PagerConfig::with_block_size(BS));
+    let mut wbox = boxes_core::wbox::WBox::new(pager, WBoxConfig::from_block_size(BS));
+    let wlids = wbox.bulk_load(N);
+    let mut i = 0usize;
+    group.bench_function("wbox", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            std::hint::black_box(wbox.lookup(wlids[i]))
+        })
+    });
+
+    let pager = Pager::new(PagerConfig::with_block_size(BS));
+    let mut bbox = boxes_core::bbox::BBox::new(pager, BBoxConfig::from_block_size(BS));
+    let blids = bbox.bulk_load(N);
+    group.bench_function("bbox", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            std::hint::black_box(bbox.lookup(blids[i]))
+        })
+    });
+
+    let pager = Pager::new(PagerConfig::with_block_size(BS));
+    let mut naive =
+        boxes_core::naive::NaiveLabeling::new(pager, NaiveConfig { extra_bits: 16 });
+    let nlids = naive.bulk_load(N);
+    group.bench_function("naive16", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            std::hint::black_box(naive.lookup(nlids[i]))
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert_concentrated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_concentrated_1k");
+    group.sample_size(20);
+
+    group.bench_function("wbox", |b| {
+        b.iter_batched(
+            || {
+                let pager = Pager::new(PagerConfig::with_block_size(BS));
+                let mut w =
+                    boxes_core::wbox::WBox::new(pager, WBoxConfig::from_block_size(BS));
+                let lids = w.bulk_load(N);
+                (w, lids[N / 2])
+            },
+            |(mut w, anchor)| {
+                for _ in 0..1_000 {
+                    w.insert_before(anchor);
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("bbox", |b| {
+        b.iter_batched(
+            || {
+                let pager = Pager::new(PagerConfig::with_block_size(BS));
+                let mut t =
+                    boxes_core::bbox::BBox::new(pager, BBoxConfig::from_block_size(BS));
+                let lids = t.bulk_load(N);
+                (t, lids[N / 2])
+            },
+            |(mut t, anchor)| {
+                for _ in 0..1_000 {
+                    t.insert_before(anchor);
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load_100k");
+    group.sample_size(10);
+    group.bench_function("wbox", |b| {
+        b.iter(|| {
+            let pager = Pager::new(PagerConfig::with_block_size(BS));
+            let mut w = boxes_core::wbox::WBox::new(pager, WBoxConfig::from_block_size(BS));
+            std::hint::black_box(w.bulk_load(N).len())
+        })
+    });
+    group.bench_function("bbox", |b| {
+        b.iter(|| {
+            let pager = Pager::new(PagerConfig::with_block_size(BS));
+            let mut t = boxes_core::bbox::BBox::new(pager, BBoxConfig::from_block_size(BS));
+            std::hint::black_box(t.bulk_load(N).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let pager = Pager::new(PagerConfig::with_block_size(BS));
+    let mut bbox = boxes_core::bbox::BBox::new(pager, BBoxConfig::from_block_size(BS));
+    let lids = bbox.bulk_load(N);
+    let mut group = c.benchmark_group("bbox_compare");
+    group.bench_function("adjacent", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % (N - 1);
+            std::hint::black_box(bbox.compare(lids[i], lids[i + 1]))
+        })
+    });
+    group.bench_function("distant", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % (N / 2);
+            std::hint::black_box(bbox.compare(lids[i], lids[i + N / 2]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_insert_concentrated,
+    bench_bulk_load,
+    bench_compare
+);
+criterion_main!(benches);

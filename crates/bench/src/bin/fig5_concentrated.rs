@@ -1,0 +1,47 @@
+//! **Figure 5** — amortized update cost, concentrated insertion sequence.
+//!
+//! A two-level base document is bulk-loaded, then a two-level subtree is
+//! inserted one element at a time with each pair of insertions squeezed
+//! into the center of the growing sibling list — the adversary that breaks
+//! gap-based schemes. Reports the average I/O per element insertion for
+//! every scheme, like the bars of Figure 5.
+
+use boxes_bench::report::fmt_f;
+use boxes_bench::{run_schemes, Scale, SchemeKind, Table};
+use boxes_core::xml::workload::concentrated;
+
+fn main() {
+    let (scale, block_size) = Scale::from_args();
+    eprintln!(
+        "Figure 5 (concentrated): base {} elements, insert {}, {}B blocks",
+        scale.base_elements, scale.insert_elements, block_size
+    );
+    let stream = concentrated(scale.base_elements, scale.insert_elements);
+    // BOXES_QUICK_LINEUP=1 skips the slowest naive variants — useful for
+    // medium/paper-scale runs where naive-1/naive-4 are wall-clock
+    // quadratic (their I/O numbers extrapolate linearly in N anyway).
+    let lineup = if std::env::var_os("BOXES_QUICK_LINEUP").is_some() {
+        SchemeKind::quick_lineup()
+    } else {
+        SchemeKind::paper_lineup()
+    };
+    let results = run_schemes(&lineup, &stream, block_size);
+
+    let mut table = Table::new(
+        format!(
+            "Figure 5: amortized update cost, concentrated insertion ({} scale)",
+            scale.name
+        ),
+        &["scheme", "avg I/Os per element insert", "max", "label bits", "blocks"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.scheme.clone(),
+            fmt_f(r.avg_io()),
+            r.max_io().to_string(),
+            r.label_bits.to_string(),
+            r.blocks_used.to_string(),
+        ]);
+    }
+    table.print();
+}

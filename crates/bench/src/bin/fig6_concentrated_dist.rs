@@ -1,0 +1,35 @@
+//! **Figure 6** — distribution of update cost, concentrated insertion.
+//!
+//! For each I/O cost x (log-spaced), the fraction of insertions that cost
+//! *more* than x — the log-log CCDF curves of Figure 6, whose "steps" show
+//! split events.
+
+use boxes_bench::{ccdf_points, run_schemes, Scale, SchemeKind, Table};
+use boxes_core::xml::workload::concentrated;
+
+fn main() {
+    let (scale, block_size) = Scale::from_args();
+    eprintln!(
+        "Figure 6 (concentrated CCDF): base {} elements, insert {}",
+        scale.base_elements, scale.insert_elements
+    );
+    let stream = concentrated(scale.base_elements, scale.insert_elements);
+    let kinds = [
+        SchemeKind::BBox,
+        SchemeKind::BBoxO,
+        SchemeKind::WBox,
+        SchemeKind::WBoxO,
+        SchemeKind::Naive(64),
+    ];
+    let results = run_schemes(&kinds, &stream, block_size);
+    for r in &results {
+        let mut table = Table::new(
+            format!("Figure 6 CCDF — {}", r.scheme),
+            &["I/O cost x", "fraction of inserts costing > x"],
+        );
+        for (x, f) in ccdf_points(&r.costs) {
+            table.row(vec![x.to_string(), format!("{f:.6}")]);
+        }
+        table.print();
+    }
+}

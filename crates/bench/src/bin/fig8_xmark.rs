@@ -1,0 +1,41 @@
+//! **Figure 8** — amortized update cost, XMark insertion sequence.
+//!
+//! An XMark-like document is built up element by element in document order
+//! of start tags (end labels inserted together with start labels, without
+//! knowing subtree sizes in advance). The first insertions prime the
+//! structures and are excluded from measurement, as in §7.
+
+use boxes_bench::report::fmt_f;
+use boxes_bench::{run_schemes, Scale, SchemeKind, Table};
+use boxes_core::xml::generate::xmark;
+use boxes_core::xml::workload::document_order;
+
+fn main() {
+    let (scale, block_size) = Scale::from_args();
+    eprintln!(
+        "Figure 8 (XMark): {} elements, measuring after {}",
+        scale.xmark_elements, scale.xmark_prime
+    );
+    let doc = xmark(scale.xmark_elements, 42);
+    let stream = document_order(&doc, scale.xmark_prime);
+    let results = run_schemes(&SchemeKind::paper_lineup(), &stream, block_size);
+
+    let mut table = Table::new(
+        format!(
+            "Figure 8: amortized update cost, XMark insertion ({} scale, depth {})",
+            scale.name,
+            doc.max_depth()
+        ),
+        &["scheme", "avg I/Os per element insert", "max", "label bits", "blocks"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.scheme.clone(),
+            fmt_f(r.avg_io()),
+            r.max_io().to_string(),
+            r.label_bits.to_string(),
+            r.blocks_used.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,36 @@
+//! **Figure 9** — distribution of update cost, XMark insertion sequence.
+//!
+//! The log-log CCDF of per-insert costs for the XMark build-up, measured
+//! after the priming prefix.
+
+use boxes_bench::{ccdf_points, run_schemes, Scale, SchemeKind, Table};
+use boxes_core::xml::generate::xmark;
+use boxes_core::xml::workload::document_order;
+
+fn main() {
+    let (scale, block_size) = Scale::from_args();
+    eprintln!(
+        "Figure 9 (XMark CCDF): {} elements, measuring after {}",
+        scale.xmark_elements, scale.xmark_prime
+    );
+    let doc = xmark(scale.xmark_elements, 42);
+    let stream = document_order(&doc, scale.xmark_prime);
+    let kinds = [
+        SchemeKind::BBox,
+        SchemeKind::BBoxO,
+        SchemeKind::WBox,
+        SchemeKind::WBoxO,
+        SchemeKind::Naive(64),
+    ];
+    let results = run_schemes(&kinds, &stream, block_size);
+    for r in &results {
+        let mut table = Table::new(
+            format!("Figure 9 CCDF — {}", r.scheme),
+            &["I/O cost x", "fraction of inserts costing > x"],
+        );
+        for (x, f) in ccdf_points(&r.costs) {
+            table.row(vec![x.to_string(), format!("{f:.6}")]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,42 @@
+//! **E7 — "Other findings" ¶1**: element-at-a-time vs bulk subtree insert.
+//!
+//! The concentrated test inserts a subtree of elements; done element by
+//! element it costs millions of I/Os, via the bulk insert methods orders of
+//! magnitude less (paper: W-BOX 5,401,885 → 11,374; B-BOX 2,000,448 → 492).
+
+use boxes_bench::{Scale, SchemeKind, Table};
+use boxes_core::xml::workload::{concentrated, concentrated_bulk};
+use boxes_bench::runner::run_stream;
+
+fn main() {
+    let (scale, bs) = Scale::from_args();
+    eprintln!(
+        "Bulk-vs-element insert: base {} elements, subtree {}",
+        scale.base_elements, scale.insert_elements
+    );
+    let single = concentrated(scale.base_elements, scale.insert_elements);
+    let bulk = concentrated_bulk(scale.base_elements, scale.insert_elements);
+
+    let mut table = Table::new(
+        format!(
+            "Subtree insertion: total I/Os, element-at-a-time vs bulk ({} scale)",
+            scale.name
+        ),
+        &["scheme", "element-at-a-time", "bulk insert", "speedup"],
+    );
+    for kind in [SchemeKind::WBox, SchemeKind::BBox] {
+        eprintln!("  {} element-at-a-time ...", kind.name());
+        let one = run_stream(kind, &single, bs);
+        let one_total: u64 = one.costs.iter().sum();
+        eprintln!("  {} bulk ...", kind.name());
+        let many = run_stream(kind, &bulk, bs);
+        let many_total: u64 = many.costs.iter().sum();
+        table.row(vec![
+            kind.name(),
+            one_total.to_string(),
+            many_total.to_string(),
+            format!("{:.0}x", one_total as f64 / many_total.max(1) as f64),
+        ]);
+    }
+    table.print();
+}

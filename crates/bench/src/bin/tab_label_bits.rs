@@ -1,0 +1,67 @@
+//! **E8 — "Other findings" ¶2**: label lengths vs the 32-bit machine word.
+//!
+//! After each workload, the number of bits a label requires. The paper:
+//! 2M elements need only ~12 bits of entropy... wait — 4M labels need 22
+//! bits; BOX labels stay O(log N); naive-32 and larger "exceed machine
+//! word size" and are slower to process.
+
+use boxes_bench::{Scale, SchemeKind, Table};
+use boxes_bench::runner::run_stream;
+use boxes_core::xml::generate::xmark;
+use boxes_core::xml::workload::{concentrated, document_order, scattered};
+
+fn main() {
+    let (scale, bs) = Scale::from_args();
+    // Label lengths converge long before the full insert count (they grow
+    // with log of the structure size / linearly in k), so a tenth of each
+    // workload suffices and keeps the naive-k runs affordable. naive-1 is
+    // omitted (its ⌈log N⌉ + 1 bits appear in the Figure 5 table already
+    // and a naive-1 run is a full relabel per insert).
+    let streams = vec![
+        (
+            "concentrated",
+            concentrated(scale.base_elements, scale.insert_elements / 10),
+        ),
+        (
+            "scattered",
+            scattered(scale.base_elements, scale.insert_elements / 10),
+        ),
+        (
+            "xmark",
+            document_order(&xmark(scale.xmark_elements / 2, 42), scale.xmark_prime / 2),
+        ),
+    ];
+    let kinds = [
+        SchemeKind::WBox,
+        SchemeKind::WBoxO,
+        SchemeKind::BBox,
+        SchemeKind::BBoxO,
+        SchemeKind::Naive(4),
+        SchemeKind::Naive(16),
+        SchemeKind::Naive(64),
+        SchemeKind::Naive(256),
+    ];
+    let mut table = Table::new(
+        format!(
+            "Label length in bits after each workload ({} scale; 32-bit word)",
+            scale.name
+        ),
+        &["scheme", "concentrated", "scattered", "xmark", "fits u32?"],
+    );
+    for kind in kinds {
+        eprintln!("  {} ...", kind.name());
+        let mut bits = Vec::new();
+        for (_, stream) in &streams {
+            bits.push(run_stream(kind, stream, bs).label_bits);
+        }
+        let max = *bits.iter().max().expect("non-empty");
+        table.row(vec![
+            kind.name(),
+            bits[0].to_string(),
+            bits[1].to_string(),
+            bits[2].to_string(),
+            if max <= 32 { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,62 @@
+//! Complementary CDF of per-operation costs — the quantity plotted in
+//! Figures 6 and 9 ("for each I/O cost, the fraction of insertions in the
+//! sequence that incurred *higher* than this cost", both axes logarithmic).
+
+/// Compute CCDF sample points from per-operation costs: for each threshold
+/// `x` (log-spaced), the fraction of operations with cost strictly greater
+/// than `x`. Returns `(x, fraction)` pairs, dropping zero fractions.
+pub fn ccdf_points(costs: &[u64]) -> Vec<(u64, f64)> {
+    if costs.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<u64> = costs.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let max = *sorted.last().expect("non-empty");
+    let mut points = Vec::new();
+    let mut x = 1u64;
+    while x <= max {
+        let above = sorted.partition_point(|&c| c <= x);
+        let fraction = (sorted.len() - above) as f64 / n;
+        if fraction > 0.0 {
+            points.push((x, fraction));
+        }
+        // Log-spaced thresholds: 1, 2, 3, …, 10, 13, 18, 24, … (×1.33).
+        let next = ((x as f64) * 1.33).ceil() as u64;
+        x = next.max(x + 1);
+    }
+    points.push((max, 0.0));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_monotone_and_exact() {
+        let costs = vec![1, 1, 1, 1, 2, 2, 5, 100];
+        let pts = ccdf_points(&costs);
+        // At x = 1: 4 of 8 cost more.
+        assert_eq!(pts[0], (1, 0.5));
+        // At x = 2: 2 of 8.
+        assert_eq!(pts[1], (2, 0.25));
+        for w in pts.windows(2) {
+            assert!(w[0].1 >= w[1].1, "CCDF is non-increasing");
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(pts.last().unwrap(), &(100, 0.0));
+    }
+
+    #[test]
+    fn empty_costs_yield_no_points() {
+        assert!(ccdf_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn uniform_costs() {
+        let pts = ccdf_points(&[3, 3, 3]);
+        assert_eq!(pts.first().unwrap().1, 1.0);
+        assert_eq!(pts.last().unwrap(), &(3, 0.0));
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Experiment harness for the BOXes reproduction: everything §7 measures,
+//! as reusable runners. One binary per figure/table lives in `src/bin/`;
+//! see DESIGN.md's per-experiment index.
+//!
+//! Results are printed as aligned text tables (one row per scheme / series
+//! point), matching the quantities of the corresponding paper artifact.
+
+pub mod ccdf;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use ccdf::ccdf_points;
+pub use report::Table;
+pub use runner::{run_schemes, RunResult, SchemeKind};
+pub use scale::Scale;
+
+/// The paper's block size (§7).
+pub const PAPER_BLOCK_SIZE: usize = 8192;

@@ -1,0 +1,129 @@
+//! Experiment sizing: the paper's sizes and scaled-down defaults.
+
+/// Workload sizes. The paper uses `paper()` (2,000,000-element base,
+/// 500,000 inserted, XMark with 336,242 elements, 200,000 priming inserts);
+/// the default `small()` keeps identical proportions at 1/20 scale so the
+/// whole suite runs in minutes, and `tiny()` at 1/200 for smoke runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Elements in the two-level base document (concentrated/scattered).
+    pub base_elements: usize,
+    /// Elements inserted by the update stream.
+    pub insert_elements: usize,
+    /// Elements of the XMark-like document.
+    pub xmark_elements: usize,
+    /// XMark insertions treated as priming (not measured).
+    pub xmark_prime: usize,
+}
+
+impl Scale {
+    /// The paper's §7 sizes.
+    pub fn paper() -> Self {
+        Scale {
+            name: "paper",
+            base_elements: 2_000_000,
+            insert_elements: 500_000,
+            xmark_elements: 336_242,
+            xmark_prime: 200_000,
+        }
+    }
+
+    /// 1/20 of the paper (default).
+    pub fn small() -> Self {
+        Scale {
+            name: "small",
+            base_elements: 100_000,
+            insert_elements: 25_000,
+            xmark_elements: 17_000,
+            xmark_prime: 10_000,
+        }
+    }
+
+    /// 1/4 of the paper — shows the naive-k penalty growing with N while
+    /// the BOX costs stay flat, at tolerable wall-clock cost.
+    pub fn medium() -> Self {
+        Scale {
+            name: "medium",
+            base_elements: 500_000,
+            insert_elements: 125_000,
+            xmark_elements: 84_000,
+            xmark_prime: 50_000,
+        }
+    }
+
+    /// 1/200 of the paper (smoke runs and tests).
+    pub fn tiny() -> Self {
+        Scale {
+            name: "tiny",
+            base_elements: 10_000,
+            insert_elements: 2_500,
+            xmark_elements: 1_700,
+            xmark_prime: 1_000,
+        }
+    }
+
+    /// Parse `--scale <name>` style command-line arguments (also accepts a
+    /// `--block-size <bytes>` override). Unknown flags abort with usage.
+    pub fn from_args() -> (Self, usize) {
+        let mut scale = Scale::small();
+        let mut block_size = crate::PAPER_BLOCK_SIZE;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = match args.get(i).map(|s| s.as_str()) {
+                        Some("paper") => Scale::paper(),
+                        Some("medium") => Scale::medium(),
+                        Some("small") => Scale::small(),
+                        Some("tiny") => Scale::tiny(),
+                        other => {
+                            eprintln!(
+                                "unknown scale {other:?}; use tiny|small|medium|paper"
+                            );
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--block-size" => {
+                    i += 1;
+                    block_size = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--block-size needs a byte count");
+                            std::process::exit(2);
+                        });
+                }
+                other => {
+                    eprintln!(
+                        "unknown argument {other}; usage: [--scale tiny|small|medium|paper] \
+                         [--block-size BYTES]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        (scale, block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_keep_paper_proportions() {
+        let p = Scale::paper();
+        let s = Scale::small();
+        let ratio = p.base_elements as f64 / s.base_elements as f64;
+        let insert_ratio = p.insert_elements as f64 / s.insert_elements as f64;
+        assert!((ratio - insert_ratio).abs() / ratio < 0.01);
+        assert!(p.xmark_prime < p.xmark_elements);
+        assert!(s.xmark_prime < s.xmark_elements);
+    }
+}

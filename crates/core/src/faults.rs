@@ -1,0 +1,90 @@
+//! Failure-injection tests: the structures must *detect* corruption and
+//! misuse loudly rather than silently returning wrong labels. (Module is
+//! test-only; it exists so the checks live close to the public API.)
+
+#[cfg(test)]
+mod tests {
+    use crate::bbox::{BBox, BBoxConfig};
+    use crate::pager::{Pager, PagerConfig};
+    use crate::wbox::{WBox, WBoxConfig};
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn bbox_detects_corrupted_node_kind() {
+        let pager = Pager::new(PagerConfig::with_block_size(128));
+        let mut b = BBox::new(pager.clone(), BBoxConfig::from_block_size(128));
+        let lids = b.bulk_load(50);
+        // Flip the node-kind byte of some block the next lookup will read.
+        let block = {
+            // The LIDF points at the leaf; smash the leaf.
+            let victim = pager.read(crate::pager::BlockId(0));
+            let mut buf = victim.clone();
+            buf[0] = 0xEE;
+            pager.write(crate::pager::BlockId(0), &buf);
+            lids[0]
+        };
+        // Some structure block is now garbage; a full-tree walk must hit it.
+        let _ = b.iter_lids();
+        let _ = b.lookup(block);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this W-BOX leaf")]
+    fn wbox_detects_dangling_lidf_pointer() {
+        let pager = Pager::new(PagerConfig::with_block_size(512));
+        let mut w = WBox::new(pager.clone(), WBoxConfig::small_for_tests());
+        let lids = w.bulk_load(50);
+        // Simulate a torn LIDF update: point a record at the wrong leaf.
+        // (Reach in through a second W-BOX handle sharing the pager.)
+        let other_leaf = {
+            // Label 0 and label 45 live in different leaves (cap 7).
+            w.lookup(lids[45]); // ensure it exists
+            let via = w.leaf_extent(lids[45]);
+            let _ = via;
+            // Overwrite lids[0]'s LIDF record with lids[45]'s block by
+            // copying the raw LIDF slot bytes. Allocation order: block 0 is
+            // the pre-bulk root (freed), blocks 1–8 the eight leaves of 50
+            // records at capacity 7, block 9 the first LIDF block.
+            let lidf_block = crate::pager::BlockId(9);
+            let buf = pager.read(lidf_block);
+            let mut buf2 = buf.clone();
+            // slot size = 9 (tag + 8B payload); copy slot 45's payload into
+            // slot 0's payload.
+            let (a, b) = (45usize, 0usize);
+            for i in 0..8 {
+                buf2[b * 9 + 1 + i] = buf[a * 9 + 1 + i];
+            }
+            pager.write(lidf_block, &buf2);
+            lids[0]
+        };
+        let _ = w.lookup(other_leaf);
+    }
+
+    #[test]
+    #[should_panic]
+    fn deleted_label_cannot_be_looked_up() {
+        let pager = Pager::new(PagerConfig::with_block_size(512));
+        let mut w = WBox::new(pager, WBoxConfig::small_for_tests());
+        let lids = w.bulk_load(10);
+        w.delete(lids[3]);
+        let _ = w.lookup(lids[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_lid_is_rejected() {
+        let pager = Pager::new(PagerConfig::with_block_size(512));
+        let mut w = WBox::new(pager, WBoxConfig::small_for_tests());
+        w.bulk_load(10);
+        let _ = w.lookup(crate::lidf::Lid(99_999));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints out of order")]
+    fn inverted_subtree_range_is_rejected() {
+        let pager = Pager::new(PagerConfig::with_block_size(512));
+        let mut w = WBox::new(pager, WBoxConfig::small_for_tests());
+        let lids = w.bulk_load(20);
+        w.delete_subtree(lids[10], lids[2]);
+    }
+}

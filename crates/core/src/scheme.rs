@@ -1,0 +1,403 @@
+//! One interface over all dynamic labeling schemes.
+
+use boxes_bbox::{BBox, BBoxConfig, PathLabel};
+use boxes_lidf::Lid;
+use boxes_naive::{BigLabel, NaiveConfig, NaiveLabeling};
+use boxes_pager::{Pager, PagerConfig, SharedPager};
+use boxes_wbox::{WBox, WBoxConfig};
+
+/// A dynamic order-based labeling scheme (§3's supported operations plus
+/// the bulk operations of §4/§5).
+///
+/// Implementations own their LIDF and index storage on a shared pager, so
+/// all I/O is visible through [`LabelingScheme::pager`].
+pub trait LabelingScheme {
+    /// The label value type (`u64` for W-BOX/naive, [`PathLabel`] for
+    /// B-BOX). Ordering agrees with document order.
+    type Label: Ord + Clone + std::fmt::Debug;
+
+    /// Short scheme name for reports (e.g. `"W-BOX"`).
+    fn name(&self) -> String;
+
+    /// Current label of `lid`.
+    fn lookup(&self, lid: Lid) -> Self::Label;
+
+    /// Insert one new label immediately before the label of `lid`.
+    fn insert_before(&mut self, lid: Lid) -> Lid;
+
+    /// Insert a new element (start and end labels) before the tag labeled
+    /// `lid` (§3: end first, then start before it).
+    fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid);
+
+    /// Delete the label of `lid`, reclaiming its LIDF record.
+    fn delete(&mut self, lid: Lid);
+
+    /// Bulk load a fresh document of tags in document order.
+    /// `partner_of[i]` is the index of tag i's partner (its element's other
+    /// tag) — used by pair-optimized schemes, ignored by the rest.
+    fn bulk_load_document(&mut self, partner_of: &[usize]) -> Vec<Lid>;
+
+    /// Bulk-insert a subtree of tags before the tag labeled `lid`;
+    /// `partner_of` is relative to the new batch.
+    fn insert_subtree_before(&mut self, lid: Lid, partner_of: &[usize]) -> Vec<Lid>;
+
+    /// Bulk-delete the contiguous label range between the two tags of a
+    /// subtree root (inclusive).
+    fn delete_subtree(&mut self, start: Lid, end: Lid);
+
+    /// Number of live labels.
+    fn len(&self) -> u64;
+
+    /// Whether no labels are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bits required per label right now (the paper's label-length metric).
+    fn label_bits(&self) -> u32;
+
+    /// The shared pager, for I/O accounting and space metrics.
+    fn pager(&self) -> &SharedPager;
+}
+
+/// Schemes that can also produce ordinal labels (§3).
+pub trait OrdinalScheme: LabelingScheme {
+    /// The exact ordinal position of the tag in the document (0-based).
+    fn ordinal_of(&self, lid: Lid) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// W-BOX
+// ---------------------------------------------------------------------------
+
+/// [`WBox`] behind the unified interface.
+pub struct WBoxScheme {
+    inner: WBox,
+}
+
+impl WBoxScheme {
+    /// W-BOX with parameters derived from `block_size`, caching off.
+    pub fn with_block_size(block_size: usize) -> Self {
+        let pager = Pager::new(PagerConfig::with_block_size(block_size));
+        Self::new(pager, WBoxConfig::from_block_size(block_size))
+    }
+
+    /// W-BOX on an existing pager with explicit parameters.
+    pub fn new(pager: SharedPager, config: WBoxConfig) -> Self {
+        WBoxScheme {
+            inner: WBox::new(pager, config),
+        }
+    }
+
+    /// The underlying structure.
+    pub fn inner(&self) -> &WBox {
+        &self.inner
+    }
+
+    /// The underlying structure, mutably.
+    pub fn inner_mut(&mut self) -> &mut WBox {
+        &mut self.inner
+    }
+
+    /// Consume the wrapper.
+    pub fn into_inner(self) -> WBox {
+        self.inner
+    }
+}
+
+impl LabelingScheme for WBoxScheme {
+    type Label = u64;
+
+    fn name(&self) -> String {
+        let c = self.inner.config();
+        match (c.pair, c.ordinal) {
+            (true, _) => "W-BOX-O".into(),
+            (false, true) => "W-BOX (ordinal)".into(),
+            (false, false) => "W-BOX".into(),
+        }
+    }
+
+    fn lookup(&self, lid: Lid) -> u64 {
+        self.inner.lookup(lid)
+    }
+
+    fn insert_before(&mut self, lid: Lid) -> Lid {
+        self.inner.insert_before(lid)
+    }
+
+    fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid) {
+        self.inner.insert_element_before(lid)
+    }
+
+    fn delete(&mut self, lid: Lid) {
+        self.inner.delete(lid)
+    }
+
+    fn bulk_load_document(&mut self, partner_of: &[usize]) -> Vec<Lid> {
+        if self.inner.config().pair {
+            self.inner.bulk_load_pairs(partner_of)
+        } else {
+            self.inner.bulk_load(partner_of.len())
+        }
+    }
+
+    fn insert_subtree_before(&mut self, lid: Lid, partner_of: &[usize]) -> Vec<Lid> {
+        if self.inner.config().pair {
+            self.inner.insert_subtree_before_pairs(lid, partner_of)
+        } else {
+            self.inner.insert_subtree_before(lid, partner_of.len())
+        }
+    }
+
+    fn delete_subtree(&mut self, start: Lid, end: Lid) {
+        self.inner.delete_subtree(start, end)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn label_bits(&self) -> u32 {
+        self.inner.label_bits()
+    }
+
+    fn pager(&self) -> &SharedPager {
+        self.inner.pager()
+    }
+}
+
+impl OrdinalScheme for WBoxScheme {
+    fn ordinal_of(&self, lid: Lid) -> u64 {
+        self.inner.ordinal_of(lid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B-BOX
+// ---------------------------------------------------------------------------
+
+/// [`BBox`] behind the unified interface.
+pub struct BBoxScheme {
+    inner: BBox,
+}
+
+impl BBoxScheme {
+    /// B-BOX with parameters derived from `block_size`, caching off.
+    pub fn with_block_size(block_size: usize) -> Self {
+        let pager = Pager::new(PagerConfig::with_block_size(block_size));
+        Self::new(pager, BBoxConfig::from_block_size(block_size))
+    }
+
+    /// B-BOX on an existing pager with explicit parameters.
+    pub fn new(pager: SharedPager, config: BBoxConfig) -> Self {
+        BBoxScheme {
+            inner: BBox::new(pager, config),
+        }
+    }
+
+    /// The underlying structure.
+    pub fn inner(&self) -> &BBox {
+        &self.inner
+    }
+
+    /// The underlying structure, mutably.
+    pub fn inner_mut(&mut self) -> &mut BBox {
+        &mut self.inner
+    }
+
+    /// Consume the wrapper.
+    pub fn into_inner(self) -> BBox {
+        self.inner
+    }
+}
+
+impl LabelingScheme for BBoxScheme {
+    type Label = PathLabel;
+
+    fn name(&self) -> String {
+        if self.inner.config().ordinal {
+            "B-BOX-O".into()
+        } else {
+            "B-BOX".into()
+        }
+    }
+
+    fn lookup(&self, lid: Lid) -> PathLabel {
+        self.inner.lookup(lid)
+    }
+
+    fn insert_before(&mut self, lid: Lid) -> Lid {
+        self.inner.insert_before(lid)
+    }
+
+    fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid) {
+        self.inner.insert_element_before(lid)
+    }
+
+    fn delete(&mut self, lid: Lid) {
+        self.inner.delete(lid)
+    }
+
+    fn bulk_load_document(&mut self, partner_of: &[usize]) -> Vec<Lid> {
+        self.inner.bulk_load(partner_of.len())
+    }
+
+    fn insert_subtree_before(&mut self, lid: Lid, partner_of: &[usize]) -> Vec<Lid> {
+        self.inner.insert_subtree_before(lid, partner_of.len())
+    }
+
+    fn delete_subtree(&mut self, start: Lid, end: Lid) {
+        self.inner.delete_subtree(start, end)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn label_bits(&self) -> u32 {
+        self.inner.label_bits()
+    }
+
+    fn pager(&self) -> &SharedPager {
+        self.inner.pager()
+    }
+}
+
+impl OrdinalScheme for BBoxScheme {
+    fn ordinal_of(&self, lid: Lid) -> u64 {
+        self.inner.ordinal_of(lid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// naive-k
+// ---------------------------------------------------------------------------
+
+/// [`NaiveLabeling`] behind the unified interface.
+pub struct NaiveScheme {
+    inner: NaiveLabeling,
+    extra_bits: u32,
+}
+
+impl NaiveScheme {
+    /// naive-k with the given extra bits, caching off.
+    pub fn with_block_size(block_size: usize, extra_bits: u32) -> Self {
+        let pager = Pager::new(PagerConfig::with_block_size(block_size));
+        NaiveScheme {
+            inner: NaiveLabeling::new(pager, NaiveConfig { extra_bits }),
+            extra_bits,
+        }
+    }
+
+    /// The underlying structure.
+    pub fn inner(&self) -> &NaiveLabeling {
+        &self.inner
+    }
+
+    /// The underlying structure, mutably.
+    pub fn inner_mut(&mut self) -> &mut NaiveLabeling {
+        &mut self.inner
+    }
+}
+
+impl LabelingScheme for NaiveScheme {
+    type Label = BigLabel;
+
+    fn name(&self) -> String {
+        format!("naive-{}", self.extra_bits)
+    }
+
+    fn lookup(&self, lid: Lid) -> BigLabel {
+        self.inner.lookup(lid)
+    }
+
+    fn insert_before(&mut self, lid: Lid) -> Lid {
+        self.inner.insert_before(lid)
+    }
+
+    fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid) {
+        self.inner.insert_element_before(lid)
+    }
+
+    fn delete(&mut self, lid: Lid) {
+        self.inner.delete(lid)
+    }
+
+    fn bulk_load_document(&mut self, partner_of: &[usize]) -> Vec<Lid> {
+        self.inner.bulk_load(partner_of.len())
+    }
+
+    fn insert_subtree_before(&mut self, lid: Lid, partner_of: &[usize]) -> Vec<Lid> {
+        self.inner.insert_subtree_before(lid, partner_of.len())
+    }
+
+    fn delete_subtree(&mut self, start: Lid, end: Lid) {
+        self.inner.delete_subtree(start, end)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn label_bits(&self) -> u32 {
+        self.inner.label_bits()
+    }
+
+    fn pager(&self) -> &SharedPager {
+        self.inner.pager()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: LabelingScheme>(mut s: S) {
+        // A 3-element document: <a><b/><c/></a> → 6 tags, pairs (0,5),
+        // (1,2), (3,4).
+        let lids = s.bulk_load_document(&[5, 2, 1, 4, 3, 0]);
+        assert_eq!(s.len(), 6);
+        // New element before <c>'s start tag.
+        let (ns, ne) = s.insert_element_before(lids[3]);
+        assert!(s.lookup(lids[2]) < s.lookup(ns));
+        assert!(s.lookup(ns) < s.lookup(ne));
+        assert!(s.lookup(ne) < s.lookup(lids[3]));
+        s.delete(ns);
+        s.delete(ne);
+        assert_eq!(s.len(), 6);
+        assert!(s.label_bits() > 0);
+        assert!(!s.name().is_empty());
+    }
+
+    #[test]
+    fn all_schemes_satisfy_the_interface() {
+        exercise(WBoxScheme::with_block_size(1024));
+        exercise(BBoxScheme::with_block_size(256));
+        exercise(NaiveScheme::with_block_size(256, 8));
+        let pager = Pager::new(PagerConfig::with_block_size(1024));
+        exercise(WBoxScheme::new(
+            pager,
+            WBoxConfig::from_block_size_paired(1024),
+        ));
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(WBoxScheme::with_block_size(1024).name(), "W-BOX");
+        assert_eq!(BBoxScheme::with_block_size(256).name(), "B-BOX");
+        assert_eq!(NaiveScheme::with_block_size(256, 16).name(), "naive-16");
+        let pager = Pager::new(PagerConfig::with_block_size(256));
+        let bo = BBoxScheme::new(pager, BBoxConfig::from_block_size(256).with_ordinal());
+        assert_eq!(bo.name(), "B-BOX-O");
+    }
+
+    #[test]
+    fn ordinal_schemes_expose_positions() {
+        let pager = Pager::new(PagerConfig::with_block_size(1024));
+        let mut w = WBoxScheme::new(pager, WBoxConfig::from_block_size(1024).with_ordinal());
+        let lids = w.bulk_load_document(&(0..100).map(|i| i ^ 1).collect::<Vec<_>>());
+        for (i, &lid) in lids.iter().enumerate().step_by(13) {
+            assert_eq!(w.ordinal_of(lid), i as u64);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! BigLabel arithmetic verified against native u128 on the range where both
+//! are defined, plus structural properties beyond it.
+
+use boxes_naive::BigLabel;
+use proptest::prelude::*;
+
+fn from_u128(v: u128) -> BigLabel {
+    BigLabel([v as u64, (v >> 64) as u64, 0, 0, 0])
+}
+
+fn to_u128(b: BigLabel) -> u128 {
+    assert!(b.0[2] == 0 && b.0[3] == 0 && b.0[4] == 0);
+    (b.0[1] as u128) << 64 | b.0[0] as u128
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..(u128::MAX / 2), b in 0u128..(u128::MAX / 2)) {
+        prop_assert_eq!(to_u128(from_u128(a).add(from_u128(b))), a + b);
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(to_u128(from_u128(hi).sub(from_u128(lo))), hi - lo);
+    }
+
+    #[test]
+    fn half_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(to_u128(from_u128(a).half()), a / 2);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u32>()) {
+        let expect = a as u128 * b as u128;
+        prop_assert_eq!(to_u128(from_u128(a as u128).mul_u64(b as u64)), expect);
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(from_u128(a).cmp(&from_u128(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn bits_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(from_u128(a).bits(), 128 - a.leading_zeros());
+    }
+
+    #[test]
+    fn byte_roundtrip(a in any::<u128>(), extra in 0usize..24) {
+        let v = from_u128(a);
+        let nbytes = ((v.bits() as usize).div_ceil(8)).max(1) + extra;
+        if nbytes <= 40 {
+            let mut buf = vec![0u8; nbytes];
+            v.write_bytes(&mut buf);
+            prop_assert_eq!(BigLabel::read_bytes(&buf), v);
+        }
+    }
+
+    #[test]
+    fn gap_splitting_invariant(k in 1u32..260) {
+        // The core naive-k step: splitting gap g at label L yields a new
+        // label strictly between L−g and L, and the two new gaps sum to g.
+        let gap = BigLabel::pow2(k);
+        let label = BigLabel::pow2(k).mul_u64(3); // some label > gap
+        let left = gap.half();
+        let new_label = label.sub(left);
+        let new_gap = gap.sub(left);
+        prop_assert!(label.sub(gap) < new_label);
+        prop_assert!(new_label < label);
+        prop_assert_eq!(left.add(new_gap), gap);
+    }
+}

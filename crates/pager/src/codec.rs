@@ -1,0 +1,175 @@
+//! Fixed-layout little-endian block codecs.
+//!
+//! Every on-"disk" node format in this workspace (LIDF records, W-BOX and
+//! B-BOX nodes, naive-k records) is a fixed layout of unsigned integers.
+//! [`Reader`] and [`Writer`] are thin cursors over a block buffer that keep
+//! the serialization code in the data-structure crates short and uniform.
+
+/// Sequential little-endian reader over a byte slice.
+#[derive(Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Cursor at byte `offset` of `buf`.
+    pub fn at(buf: &'a [u8], offset: usize) -> Self {
+        Self { buf, pos: offset }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Skip `n` bytes.
+    #[inline]
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    #[inline]
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let bytes: [u8; N] = self
+            .buf
+            .get(self.pos..self.pos + N)
+            .expect("codec: block underrun")
+            .try_into()
+            .expect("codec: block underrun");
+        self.pos += N;
+        bytes
+    }
+
+    /// Read a `u8`.
+    #[inline]
+    pub fn u8(&mut self) -> u8 {
+        let [b] = self.take::<1>();
+        b
+    }
+
+    /// Read a little-endian `u16`.
+    #[inline]
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take())
+    }
+
+    /// Read a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    /// Read a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+}
+
+/// Sequential little-endian writer over a mutable byte slice.
+pub struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Cursor at byte `offset` of `buf`.
+    pub fn at(buf: &'a mut [u8], offset: usize) -> Self {
+        Self { buf, pos: offset }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Skip `n` bytes, leaving them untouched.
+    #[inline]
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        self.buf[self.pos..self.pos + bytes.len()].copy_from_slice(bytes);
+        self.pos += bytes.len();
+    }
+
+    /// Write a `u8`.
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.put(&[v]);
+    }
+
+    /// Write a little-endian `u16`.
+    #[inline]
+    pub fn u16(&mut self, v: u16) {
+        self.put(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_layout() {
+        let mut buf = vec![0u8; 32];
+        {
+            let mut w = Writer::new(&mut buf);
+            w.u8(0xAB);
+            w.u16(0xBEEF);
+            w.u32(0xDEADBEEF);
+            w.u64(0x0123_4567_89AB_CDEF);
+            assert_eq!(w.pos(), 15);
+        }
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), 0xAB);
+        assert_eq!(r.u16(), 0xBEEF);
+        assert_eq!(r.u32(), 0xDEADBEEF);
+        assert_eq!(r.u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.pos(), 15);
+    }
+
+    #[test]
+    fn offset_cursors() {
+        let mut buf = vec![0u8; 16];
+        Writer::at(&mut buf, 8).u64(42);
+        assert_eq!(Reader::at(&buf, 8).u64(), 42);
+        let mut r = Reader::new(&buf);
+        r.skip(8);
+        assert_eq!(r.u64(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "underrun")]
+    fn underrun_panics() {
+        let buf = [0u8; 3];
+        Reader::new(&buf).u32();
+    }
+}

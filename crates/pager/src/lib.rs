@@ -1,0 +1,529 @@
+#![warn(missing_docs)]
+//! Simulated block device with I/O accounting — the storage substrate for the
+//! BOXes reproduction.
+//!
+//! The original paper implements its data structures on top of TPIE and
+//! measures performance as the *number of 8 KB block I/Os with main-memory
+//! caching turned off*. This crate provides the equivalent substrate: a
+//! [`Pager`] that owns an in-memory array of fixed-size byte blocks, counts
+//! every read and write, and optionally interposes an LRU buffer pool (the
+//! paper's experiments run with the pool disabled, but §7 notes the structures
+//! only improve with caching — ablation A4 in `DESIGN.md` measures that).
+//!
+//! All higher-level structures (LIDF heap file, W-BOX, B-BOX, naive-k) share a
+//! single [`Pager`] through [`SharedPager`] so that space and I/O are
+//! accounted on one "disk", exactly like a real database file.
+//!
+//! # Example
+//!
+//! ```
+//! use boxes_pager::{Pager, PagerConfig};
+//!
+//! let pager = Pager::new(PagerConfig::with_block_size(512));
+//! let id = pager.alloc();
+//! let mut block = pager.read(id);
+//! block[0] = 42;
+//! pager.write(id, &block);
+//! assert_eq!(pager.read(id)[0], 42);
+//! assert_eq!(pager.stats().reads, 2);
+//! assert_eq!(pager.stats().writes, 1);
+//! ```
+
+mod codec;
+mod file;
+mod pool;
+mod stats;
+
+pub use codec::{Reader, Writer};
+pub use pool::PoolStats;
+pub use stats::IoStats;
+
+use pool::BufferPool;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default block size used throughout the reproduction: 8 KB, matching §7
+/// ("For all experiments, the block size is set to 8KB").
+pub const DEFAULT_BLOCK_SIZE: usize = 8192;
+
+/// Identifier of an allocated block. Stable for the lifetime of the block
+/// (until [`Pager::free`]); freed ids may be recycled by later allocations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Sentinel for "no block"; never returned by [`Pager::alloc`].
+    pub const INVALID: BlockId = BlockId(u32::MAX);
+
+    /// Whether this id is the [`BlockId::INVALID`] sentinel.
+    #[inline]
+    pub fn is_invalid(self) -> bool {
+        self == Self::INVALID
+    }
+}
+
+impl std::fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_invalid() {
+            write!(f, "BlockId(∅)")
+        } else {
+            write!(f, "BlockId({})", self.0)
+        }
+    }
+}
+
+/// Configuration for a [`Pager`].
+#[derive(Clone, Debug)]
+pub struct PagerConfig {
+    /// Size of each block in bytes.
+    pub block_size: usize,
+    /// Capacity of the LRU buffer pool in blocks. `0` disables caching — the
+    /// setting used for all paper experiments.
+    pub pool_capacity: usize,
+    /// Back the blocks with this file instead of memory (extension beyond
+    /// the paper's simulated setup: real disk I/O, same accounting).
+    pub file: Option<std::path::PathBuf>,
+}
+
+impl Default for PagerConfig {
+    fn default() -> Self {
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+            pool_capacity: 0,
+            file: None,
+        }
+    }
+}
+
+impl PagerConfig {
+    /// Config with the given block size and caching disabled.
+    pub fn with_block_size(block_size: usize) -> Self {
+        Self {
+            block_size,
+            pool_capacity: 0,
+            file: None,
+        }
+    }
+
+    /// Enable an LRU buffer pool holding `capacity` blocks.
+    pub fn with_pool(mut self, capacity: usize) -> Self {
+        self.pool_capacity = capacity;
+        self
+    }
+
+    /// Store blocks in a real file at `path` (created or truncated). The
+    /// I/O accounting is identical to the in-memory backend; wall-clock
+    /// time then includes genuine disk latency.
+    pub fn backed_by_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.file = Some(path.into());
+        self
+    }
+}
+
+struct PagerInner {
+    backend: Backend,
+    free: Vec<u32>,
+    stats: IoStats,
+    pool: BufferPool,
+}
+
+enum Backend {
+    Memory(Vec<Option<Box<[u8]>>>),
+    File(file::FileStore),
+}
+
+impl Backend {
+    fn len(&self) -> usize {
+        match self {
+            Backend::Memory(blocks) => blocks.len(),
+            Backend::File(f) => f.len(),
+        }
+    }
+
+    fn is_allocated(&self, id: BlockId) -> bool {
+        match self {
+            Backend::Memory(blocks) => blocks
+                .get(id.0 as usize)
+                .is_some_and(|b| b.is_some()),
+            Backend::File(f) => f.is_allocated(id.0 as usize),
+        }
+    }
+
+    fn push_zeroed(&mut self, block_size: usize) {
+        match self {
+            Backend::Memory(blocks) => {
+                blocks.push(Some(vec![0u8; block_size].into_boxed_slice()))
+            }
+            Backend::File(f) => f.push_zeroed(),
+        }
+    }
+
+    fn reuse_zeroed(&mut self, id: BlockId, block_size: usize) {
+        match self {
+            Backend::Memory(blocks) => {
+                blocks[id.0 as usize] = Some(vec![0u8; block_size].into_boxed_slice())
+            }
+            Backend::File(f) => f.reuse_zeroed(id.0 as usize),
+        }
+    }
+
+    fn deallocate(&mut self, id: BlockId) {
+        match self {
+            Backend::Memory(blocks) => blocks[id.0 as usize] = None,
+            Backend::File(f) => f.deallocate(id.0 as usize),
+        }
+    }
+
+    fn read(&mut self, id: BlockId, block_size: usize) -> Box<[u8]> {
+        match self {
+            Backend::Memory(blocks) => blocks
+                .get(id.0 as usize)
+                .and_then(|b| b.as_deref())
+                .unwrap_or_else(|| panic!("read of unallocated {id:?}"))
+                .to_vec()
+                .into_boxed_slice(),
+            Backend::File(f) => f.read(id.0 as usize, block_size),
+        }
+    }
+
+    fn write(&mut self, id: BlockId, data: Box<[u8]>) {
+        match self {
+            Backend::Memory(blocks) => blocks[id.0 as usize] = Some(data),
+            Backend::File(f) => f.write(id.0 as usize, &data),
+        }
+    }
+
+    fn allocated_count(&self) -> usize {
+        match self {
+            Backend::Memory(blocks) => blocks.iter().filter(|b| b.is_some()).count(),
+            Backend::File(f) => f.allocated_count(),
+        }
+    }
+}
+
+/// An in-memory simulated disk of fixed-size blocks with I/O accounting.
+///
+/// Single-threaded by design (the paper's experiments are single-user); uses
+/// interior mutability so the many structures sharing one pager can hold
+/// plain `Rc` handles.
+pub struct Pager {
+    block_size: usize,
+    inner: RefCell<PagerInner>,
+}
+
+/// Shared handle to a [`Pager`]. All data structures in this workspace take
+/// one of these so a single simulated disk backs the whole database.
+pub type SharedPager = Rc<Pager>;
+
+impl Pager {
+    /// Create a pager with the given configuration.
+    pub fn new(config: PagerConfig) -> SharedPager {
+        assert!(config.block_size >= 16, "block size unreasonably small");
+        let backend = match &config.file {
+            None => Backend::Memory(Vec::new()),
+            Some(path) => Backend::File(file::FileStore::create(path, config.block_size)),
+        };
+        Rc::new(Pager {
+            block_size: config.block_size,
+            inner: RefCell::new(PagerInner {
+                backend,
+                free: Vec::new(),
+                stats: IoStats::default(),
+                pool: BufferPool::new(config.pool_capacity),
+            }),
+        })
+    }
+
+    /// Pager with default 8 KB blocks and caching off — the paper setup.
+    pub fn default_paper() -> SharedPager {
+        Self::new(PagerConfig::default())
+    }
+
+    /// Size of every block in bytes.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Allocate a zeroed block. Recycles freed ids first so the file stays
+    /// compact (the paper assumes a compact LIDF).
+    pub fn alloc(&self) -> BlockId {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.allocs += 1;
+        if let Some(idx) = inner.free.pop() {
+            inner.backend.reuse_zeroed(BlockId(idx), self.block_size);
+            BlockId(idx)
+        } else {
+            let idx = inner.backend.len();
+            assert!(idx < u32::MAX as usize, "pager address space exhausted");
+            inner.backend.push_zeroed(self.block_size);
+            BlockId(idx as u32)
+        }
+    }
+
+    /// Release a block. The id may be recycled by a later [`Pager::alloc`].
+    ///
+    /// # Panics
+    /// Panics if the block is not currently allocated (double free).
+    pub fn free(&self, id: BlockId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.frees += 1;
+        // Drop any cached copy; a dirty cached copy of a freed block is dead
+        // data, so it is discarded without a write-back.
+        inner.pool.discard(id);
+        assert!(
+            inner.backend.is_allocated(id),
+            "double free or out-of-range free of {id:?}"
+        );
+        inner.backend.deallocate(id);
+        inner.free.push(id.0);
+    }
+
+    /// Read a block, returning an owned copy of its contents.
+    ///
+    /// Costs one read I/O unless the buffer pool holds the block.
+    pub fn read(&self, id: BlockId) -> Box<[u8]> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(data) = inner.pool.get(id) {
+            return data;
+        }
+        let data = inner.backend.read(id, self.block_size);
+        inner.stats.reads += 1;
+        if let Some((evicted, dirty)) = inner.pool.insert_clean(id, data.clone()) {
+            Self::write_back(&mut inner, evicted, dirty);
+        }
+        data
+    }
+
+    /// Write a block's contents.
+    ///
+    /// Costs one write I/O immediately when caching is off; with a buffer
+    /// pool the write is absorbed and charged on eviction or [`Pager::flush`].
+    pub fn write(&self, id: BlockId, data: &[u8]) {
+        assert_eq!(data.len(), self.block_size, "write of wrong-sized block");
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.backend.is_allocated(id),
+            "write to unallocated {id:?}"
+        );
+        if inner.pool.capacity() == 0 {
+            inner.stats.writes += 1;
+            inner
+                .backend
+                .write(id, data.to_vec().into_boxed_slice());
+            return;
+        }
+        if let Some((evicted, dirty)) =
+            inner.pool.insert_dirty(id, data.to_vec().into_boxed_slice())
+        {
+            Self::write_back(&mut inner, evicted, dirty);
+        }
+    }
+
+    fn write_back(inner: &mut PagerInner, id: BlockId, data: Box<[u8]>) {
+        inner.stats.writes += 1;
+        inner.backend.write(id, data);
+    }
+
+    /// Flush all dirty pooled blocks to the backing store, charging writes.
+    pub fn flush(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for (id, data) in inner.pool.take_dirty() {
+            Self::write_back(&mut inner, id, data);
+        }
+    }
+
+    /// Drop every pooled block, writing back dirty ones first.
+    pub fn clear_pool(&self) {
+        self.flush();
+        self.inner.borrow_mut().pool.clear();
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.borrow().stats
+    }
+
+    /// Buffer-pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.borrow().pool.stats()
+    }
+
+    /// Reset the I/O and buffer-pool counters to zero (pool contents are
+    /// kept).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats = IoStats::default();
+        inner.pool.reset_stats();
+    }
+
+    /// Number of currently allocated blocks — the paper's "total space"
+    /// metric, in blocks.
+    pub fn allocated_blocks(&self) -> usize {
+        self.inner.borrow().backend.allocated_count()
+    }
+
+    /// Total bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_blocks() * self.block_size
+    }
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Pager")
+            .field("block_size", &self.block_size)
+            .field("blocks", &inner.backend.len())
+            .field("free", &inner.free.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pager(bs: usize) -> SharedPager {
+        Pager::new(PagerConfig::with_block_size(bs))
+    }
+
+    #[test]
+    fn alloc_returns_zeroed_blocks() {
+        let p = pager(64);
+        let id = p.alloc();
+        assert!(p.read(id).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let p = pager(64);
+        let id = p.alloc();
+        let mut data = vec![0u8; 64];
+        data[..4].copy_from_slice(&[1, 2, 3, 4]);
+        p.write(id, &data);
+        assert_eq!(&p.read(id)[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn io_counting_without_pool() {
+        let p = pager(64);
+        let id = p.alloc();
+        let block = p.read(id);
+        p.write(id, &block);
+        p.read(id);
+        let s = p.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn freed_ids_are_recycled() {
+        let p = pager(64);
+        let a = p.alloc();
+        let b = p.alloc();
+        p.free(a);
+        let c = p.alloc();
+        assert_eq!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(p.allocated_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let p = pager(64);
+        let a = p.alloc();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_after_free_panics() {
+        let p = pager(64);
+        let a = p.alloc();
+        p.free(a);
+        p.read(a);
+    }
+
+    #[test]
+    fn recycled_block_is_zeroed() {
+        let p = pager(64);
+        let a = p.alloc();
+        p.write(a, &[7u8; 64]);
+        p.free(a);
+        let b = p.alloc();
+        assert_eq!(b, a);
+        assert!(p.read(b).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn pool_absorbs_repeated_reads() {
+        let p = Pager::new(PagerConfig::with_block_size(64).with_pool(4));
+        let id = p.alloc();
+        p.read(id);
+        p.read(id);
+        p.read(id);
+        assert_eq!(p.stats().reads, 1, "only the miss costs an I/O");
+        assert_eq!(p.pool_stats().hits, 2);
+    }
+
+    #[test]
+    fn pool_defers_writes_until_flush() {
+        let p = Pager::new(PagerConfig::with_block_size(64).with_pool(4));
+        let id = p.alloc();
+        p.write(id, &[9u8; 64]);
+        p.write(id, &[8u8; 64]);
+        assert_eq!(p.stats().writes, 0);
+        p.flush();
+        assert_eq!(p.stats().writes, 1, "coalesced into one write-back");
+        // Backing store now has the latest data even on a cold read.
+        p.clear_pool();
+        assert_eq!(p.read(id)[0], 8);
+    }
+
+    #[test]
+    fn pool_eviction_charges_dirty_write_back() {
+        let p = Pager::new(PagerConfig::with_block_size(64).with_pool(1));
+        let a = p.alloc();
+        let b = p.alloc();
+        p.write(a, &[1u8; 64]);
+        assert_eq!(p.stats().writes, 0);
+        p.read(b); // evicts dirty `a`
+        assert_eq!(p.stats().writes, 1);
+        p.clear_pool();
+        assert_eq!(p.read(a)[0], 1);
+    }
+
+    #[test]
+    fn free_discards_dirty_pooled_copy_without_write() {
+        let p = Pager::new(PagerConfig::with_block_size(64).with_pool(4));
+        let a = p.alloc();
+        p.write(a, &[5u8; 64]);
+        p.free(a);
+        p.flush();
+        assert_eq!(p.stats().writes, 0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let p = pager(64);
+        let id = p.alloc();
+        p.read(id);
+        p.reset_stats();
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_blocks() {
+        let p = pager(128);
+        let a = p.alloc();
+        p.alloc();
+        assert_eq!(p.allocated_bytes(), 256);
+        p.free(a);
+        assert_eq!(p.allocated_bytes(), 128);
+    }
+}

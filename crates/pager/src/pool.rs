@@ -1,0 +1,218 @@
+//! A small LRU buffer pool.
+//!
+//! The paper's experiments run with caching *off*, but §7 notes the
+//! structures only improve with caching ("especially because the root tends
+//! to be cached at all times"). Ablation A4 quantifies that with this pool.
+
+use crate::BlockId;
+use std::collections::HashMap;
+
+/// Hit/miss counters for the buffer pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Reads served from the pool (no disk I/O charged).
+    pub hits: u64,
+    /// Reads that had to go to the simulated disk.
+    pub misses: u64,
+}
+
+struct Frame {
+    data: Box<[u8]>,
+    dirty: bool,
+    /// Logical access time for LRU eviction.
+    stamp: u64,
+}
+
+/// LRU pool of block copies. Capacity 0 disables it entirely.
+pub(crate) struct BufferPool {
+    capacity: usize,
+    frames: HashMap<BlockId, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Look up a block; counts a hit/miss when the pool is enabled.
+    pub fn get(&mut self, id: BlockId) -> Option<Box<[u8]>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let stamp = self.tick();
+        match self.frames.get_mut(&id) {
+            Some(frame) => {
+                frame.stamp = stamp;
+                self.stats.hits += 1;
+                Some(frame.data.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a block just read from disk. Returns an evicted dirty block
+    /// `(id, data)` that the caller must write back, if any.
+    pub fn insert_clean(
+        &mut self,
+        id: BlockId,
+        data: Box<[u8]>,
+    ) -> Option<(BlockId, Box<[u8]>)> {
+        self.insert(id, data, false)
+    }
+
+    /// Insert a freshly written block. Returns an evicted dirty block the
+    /// caller must write back, if any. Never called with capacity 0.
+    pub fn insert_dirty(
+        &mut self,
+        id: BlockId,
+        data: Box<[u8]>,
+    ) -> Option<(BlockId, Box<[u8]>)> {
+        self.insert(id, data, true)
+    }
+
+    fn insert(
+        &mut self,
+        id: BlockId,
+        data: Box<[u8]>,
+        dirty: bool,
+    ) -> Option<(BlockId, Box<[u8]>)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let stamp = self.tick();
+        if let Some(frame) = self.frames.get_mut(&id) {
+            frame.data = data;
+            frame.dirty = frame.dirty || dirty;
+            frame.stamp = stamp;
+            return None;
+        }
+        let evicted = if self.frames.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        self.frames.insert(id, Frame { data, dirty, stamp });
+        evicted
+    }
+
+    fn evict_lru(&mut self) -> Option<(BlockId, Box<[u8]>)> {
+        let victim = self
+            .frames
+            .iter()
+            .min_by_key(|(_, f)| f.stamp)
+            .map(|(id, _)| *id)?;
+        let frame = self.frames.remove(&victim).expect("victim vanished");
+        frame.dirty.then_some((victim, frame.data))
+    }
+
+    /// Drop any cached copy of `id` without write-back (block was freed).
+    pub fn discard(&mut self, id: BlockId) {
+        self.frames.remove(&id);
+    }
+
+    /// Remove and return all dirty frames for write-back.
+    pub fn take_dirty(&mut self) -> Vec<(BlockId, Box<[u8]>)> {
+        let dirty_ids: Vec<BlockId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        dirty_ids
+            .into_iter()
+            .map(|id| {
+                let frame = self.frames.get_mut(&id).expect("frame vanished");
+                frame.dirty = false;
+                (id, frame.data.clone())
+            })
+            .collect()
+    }
+
+    /// Drop every frame. Caller must have flushed dirty frames first.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(b: u8) -> Box<[u8]> {
+        vec![b; 8].into_boxed_slice()
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut pool = BufferPool::new(0);
+        assert!(pool.insert_clean(BlockId(1), blk(1)).is_none());
+        assert!(pool.get(BlockId(1)).is_none());
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut pool = BufferPool::new(2);
+        pool.insert_clean(BlockId(1), blk(1));
+        pool.insert_clean(BlockId(2), blk(2));
+        pool.get(BlockId(1)); // 2 is now LRU
+        assert!(pool.insert_clean(BlockId(3), blk(3)).is_none()); // clean eviction
+        assert!(pool.get(BlockId(2)).is_none());
+        assert!(pool.get(BlockId(1)).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_returns_data() {
+        let mut pool = BufferPool::new(1);
+        pool.insert_dirty(BlockId(1), blk(9));
+        let evicted = pool.insert_clean(BlockId(2), blk(2));
+        assert_eq!(evicted.map(|(id, d)| (id, d[0])), Some((BlockId(1), 9)));
+    }
+
+    #[test]
+    fn reinsert_merges_dirty_flag() {
+        let mut pool = BufferPool::new(2);
+        pool.insert_dirty(BlockId(1), blk(1));
+        pool.insert_clean(BlockId(1), blk(2)); // stays dirty
+        let dirty = pool.take_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].1[0], 2);
+        assert!(pool.take_dirty().is_empty(), "flush clears dirty flags");
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let mut pool = BufferPool::new(2);
+        pool.insert_dirty(BlockId(1), blk(1));
+        pool.discard(BlockId(1));
+        assert!(pool.take_dirty().is_empty());
+    }
+}

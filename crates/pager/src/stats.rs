@@ -1,0 +1,99 @@
+//! I/O accounting counters.
+
+/// Snapshot of pager I/O counters. Cheap to copy; the experiment harness
+/// diffs two snapshots to attribute cost to a single operation, mirroring the
+/// per-operation I/O counts reported in the paper's figures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Block reads that reached the simulated disk.
+    pub reads: u64,
+    /// Block writes that reached the simulated disk.
+    pub writes: u64,
+    /// Block allocations.
+    pub allocs: u64,
+    /// Block frees.
+    pub frees: u64,
+}
+
+impl IoStats {
+    /// Total data-moving I/Os (reads + writes) — the paper's cost metric.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counter-wise difference `self - earlier`; use to cost one operation.
+    #[inline]
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            allocs: self.allocs + rhs.allocs,
+            frees: self.frees + rhs.frees,
+        }
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} I/Os ({} reads, {} writes)",
+            self.total(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_counterwise() {
+        let early = IoStats {
+            reads: 3,
+            writes: 1,
+            allocs: 2,
+            frees: 0,
+        };
+        let late = IoStats {
+            reads: 10,
+            writes: 4,
+            allocs: 2,
+            frees: 1,
+        };
+        let d = late.since(&early);
+        assert_eq!(d.reads, 7);
+        assert_eq!(d.writes, 3);
+        assert_eq!(d.allocs, 0);
+        assert_eq!(d.frees, 1);
+        assert_eq!(d.total(), 10);
+    }
+
+    #[test]
+    fn add_is_counterwise() {
+        let a = IoStats {
+            reads: 1,
+            writes: 2,
+            allocs: 3,
+            frees: 4,
+        };
+        let sum = a + a;
+        assert_eq!(sum.reads, 2);
+        assert_eq!(sum.frees, 8);
+    }
+}

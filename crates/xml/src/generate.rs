@@ -1,0 +1,243 @@
+//! Synthetic document generators for the experiments of §7.
+//!
+//! * [`two_level`] — the flat base document of the concentrated and
+//!   scattered experiments: a root with n children.
+//! * [`xmark`] — an XMark-like auction document. The paper uses a document
+//!   produced by the XMark benchmark's `xmlgen` (336,242 elements); we
+//!   synthesize a document with the same element universe and a realistic
+//!   depth/fan-out distribution at any requested size (see the substitution
+//!   note in `DESIGN.md`). Generation is deterministic for a given seed.
+
+use crate::tree::{ElementId, XmlTree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-level document: a root with `children` leaf children. This is the
+/// "two-level XML document with 2,000,000 elements" of the concentrated and
+/// scattered experiments (element count = `children + 1`).
+pub fn two_level(children: usize) -> XmlTree {
+    let mut t = XmlTree::new("doc");
+    let root = t.root();
+    for i in 0..children {
+        let c = t.add_child(root, "item");
+        if i == 0 {
+            // Keep one attribute so serialization paths stay exercised.
+            t.push_attribute(c, "first".into(), "true".into());
+        }
+    }
+    t
+}
+
+/// Number of elements the paper's XMark document contains.
+pub const XMARK_PAPER_ELEMENTS: usize = 336_242;
+
+/// Generate an XMark-like document with approximately `target_elements`
+/// elements (always within one top-level entity of the target, never fewer).
+///
+/// Shape: `site` with the six standard sections; items under region
+/// subtrees, persons, open and closed auctions, and categories, each with
+/// the characteristic nested records (mailbox/mail, bidders, etc.). Depth
+/// ranges 1–10 like real XMark output.
+pub fn xmark(target_elements: usize, seed: u64) -> XmlTree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = XmlTree::new("site");
+    let root = t.root();
+
+    let regions = t.add_child(root, "regions");
+    let region_names = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let mut region_ids = Vec::new();
+    for name in region_names {
+        region_ids.push(t.add_child(regions, name));
+    }
+    let categories = t.add_child(root, "categories");
+    let people = t.add_child(root, "people");
+    let open_auctions = t.add_child(root, "open_auctions");
+    let closed_auctions = t.add_child(root, "closed_auctions");
+
+    // XMark entity mix (items : persons : open : closed : categories is
+    // roughly 21.75 : 25.5 : 12 : 9.75 : 1 per scale unit).
+    while t.len() < target_elements {
+        match rng.gen_range(0u32..100) {
+            0..=30 => {
+                let region = region_ids[rng.gen_range(0..region_ids.len())];
+                gen_item(&mut t, region, &mut rng);
+            }
+            31..=66 => gen_person(&mut t, people, &mut rng),
+            67..=83 => gen_open_auction(&mut t, open_auctions, &mut rng),
+            84..=97 => gen_closed_auction(&mut t, closed_auctions, &mut rng),
+            _ => gen_category(&mut t, categories, &mut rng),
+        }
+    }
+    t
+}
+
+fn gen_text_block(t: &mut XmlTree, parent: ElementId, rng: &mut SmallRng) {
+    let text = t.add_child(parent, "text");
+    for _ in 0..rng.gen_range(0..3) {
+        let kw = t.add_child(text, "keyword");
+        if rng.gen_bool(0.3) {
+            t.add_child(kw, "emph");
+        }
+    }
+}
+
+fn gen_item(t: &mut XmlTree, region: ElementId, rng: &mut SmallRng) {
+    let item = t.add_child(region, "item");
+    t.add_child(item, "location");
+    t.add_child(item, "quantity");
+    t.add_child(item, "name");
+    t.add_child(item, "payment");
+    let desc = t.add_child(item, "description");
+    gen_text_block(t, desc, rng);
+    t.add_child(item, "shipping");
+    let mailbox = t.add_child(item, "mailbox");
+    for _ in 0..rng.gen_range(0..4) {
+        let mail = t.add_child(mailbox, "mail");
+        t.add_child(mail, "from");
+        t.add_child(mail, "to");
+        t.add_child(mail, "date");
+        let body = t.add_child(mail, "text");
+        if rng.gen_bool(0.4) {
+            t.add_child(body, "keyword");
+        }
+    }
+    for _ in 0..rng.gen_range(1..3) {
+        t.add_child(item, "incategory");
+    }
+}
+
+fn gen_person(t: &mut XmlTree, people: ElementId, rng: &mut SmallRng) {
+    let person = t.add_child(people, "person");
+    t.add_child(person, "name");
+    t.add_child(person, "emailaddress");
+    if rng.gen_bool(0.6) {
+        t.add_child(person, "phone");
+    }
+    if rng.gen_bool(0.4) {
+        let addr = t.add_child(person, "address");
+        for part in ["street", "city", "country", "zipcode"] {
+            t.add_child(addr, part);
+        }
+    }
+    if rng.gen_bool(0.5) {
+        t.add_child(person, "homepage");
+    }
+    if rng.gen_bool(0.3) {
+        t.add_child(person, "creditcard");
+    }
+    if rng.gen_bool(0.7) {
+        let profile = t.add_child(person, "profile");
+        for _ in 0..rng.gen_range(0..3) {
+            t.add_child(profile, "interest");
+        }
+        t.add_child(profile, "education");
+        t.add_child(profile, "business");
+        if rng.gen_bool(0.5) {
+            let watches = t.add_child(person, "watches");
+            for _ in 0..rng.gen_range(1..4) {
+                t.add_child(watches, "watch");
+            }
+        }
+    }
+}
+
+fn gen_open_auction(t: &mut XmlTree, open: ElementId, rng: &mut SmallRng) {
+    let auction = t.add_child(open, "open_auction");
+    t.add_child(auction, "initial");
+    if rng.gen_bool(0.5) {
+        t.add_child(auction, "reserve");
+    }
+    for _ in 0..rng.gen_range(0..5) {
+        let bidder = t.add_child(auction, "bidder");
+        t.add_child(bidder, "date");
+        t.add_child(bidder, "time");
+        t.add_child(bidder, "personref");
+        t.add_child(bidder, "increase");
+    }
+    t.add_child(auction, "current");
+    t.add_child(auction, "itemref");
+    t.add_child(auction, "seller");
+    let annotation = t.add_child(auction, "annotation");
+    t.add_child(annotation, "author");
+    let desc = t.add_child(annotation, "description");
+    gen_text_block(t, desc, rng);
+    t.add_child(auction, "quantity");
+    t.add_child(auction, "type");
+    let interval = t.add_child(auction, "interval");
+    t.add_child(interval, "start");
+    t.add_child(interval, "end");
+}
+
+fn gen_closed_auction(t: &mut XmlTree, closed: ElementId, rng: &mut SmallRng) {
+    let auction = t.add_child(closed, "closed_auction");
+    t.add_child(auction, "seller");
+    t.add_child(auction, "buyer");
+    t.add_child(auction, "itemref");
+    t.add_child(auction, "price");
+    t.add_child(auction, "date");
+    t.add_child(auction, "quantity");
+    t.add_child(auction, "type");
+    let annotation = t.add_child(auction, "annotation");
+    t.add_child(annotation, "author");
+    let desc = t.add_child(annotation, "description");
+    gen_text_block(t, desc, rng);
+}
+
+fn gen_category(t: &mut XmlTree, categories: ElementId, rng: &mut SmallRng) {
+    let cat = t.add_child(categories, "category");
+    t.add_child(cat, "name");
+    let desc = t.add_child(cat, "description");
+    gen_text_block(t, desc, rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_shape() {
+        let t = two_level(100);
+        assert_eq!(t.len(), 101);
+        assert_eq!(t.children(t.root()).len(), 100);
+        assert_eq!(t.max_depth(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn xmark_hits_target_size() {
+        let t = xmark(5_000, 42);
+        assert!(t.len() >= 5_000);
+        assert!(t.len() < 5_100, "overshoot bounded by one entity");
+        t.validate();
+    }
+
+    #[test]
+    fn xmark_is_deterministic_per_seed() {
+        let a = xmark(2_000, 7);
+        let b = xmark(2_000, 7);
+        assert_eq!(a.len(), b.len());
+        let tags_a: Vec<&str> = a.document_order().iter().map(|&e| a.tag(e)).collect();
+        let tags_b: Vec<&str> = b.document_order().iter().map(|&e| b.tag(e)).collect();
+        assert_eq!(tags_a, tags_b);
+        let c = xmark(2_000, 8);
+        let tags_c: Vec<&str> = c.document_order().iter().map(|&e| c.tag(e)).collect();
+        assert_ne!(tags_a, tags_c, "different seed, different document");
+    }
+
+    #[test]
+    fn xmark_has_realistic_depth() {
+        let t = xmark(10_000, 1);
+        let d = t.max_depth();
+        assert!((5..=12).contains(&d), "depth {d} out of XMark range");
+    }
+
+    #[test]
+    fn xmark_has_all_sections() {
+        let t = xmark(3_000, 3);
+        let sections: Vec<&str> = t.children(t.root()).iter().map(|&e| t.tag(e)).collect();
+        assert_eq!(
+            sections,
+            vec!["regions", "categories", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! XML substrate for the BOXes reproduction: document model, a minimal
+//! well-formed parser/serializer, synthetic document generators, and the
+//! update streams driving the paper's experiments (§7).
+//!
+//! The labeling structures themselves never see an [`XmlTree`]; they operate
+//! on tags identified by LIDs. This crate supplies (a) realistic documents to
+//! bulk-load and (b) abstract [`workload::UpdateStream`]s that a driver (in
+//! `boxes-core`) replays against any labeling scheme.
+
+pub mod generate;
+pub mod parse;
+pub mod tags;
+pub mod tree;
+pub mod workload;
+
+pub use parse::{parse, ParseError};
+pub use tags::{Tag, TagKind};
+pub use tree::{ElementId, XmlTree};
+pub use workload::{Anchor, ElemRef, Op, UpdateStream};

@@ -1,0 +1,418 @@
+//! A minimal well-formed XML parser and serializer.
+//!
+//! Supports the element/attribute/text subset needed to load real documents
+//! into the labeling structures: start/end/self-closing tags, single- or
+//! double-quoted attributes, character data, comments, processing
+//! instructions, XML declarations, and the five predefined entities. It does
+//! **not** implement DTDs, namespaces-aware validation, or CDATA — those are
+//! irrelevant to order-based labeling.
+
+use crate::tree::{ElementId, XmlTree};
+
+/// Parse failure with byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..]
+            .windows(terminator.len())
+            .position(|w| w == terminator.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + terminator.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated construct, missing `{terminator}`")),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn quoted_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.input[start..self.pos];
+                self.pos += 1;
+                return Ok(decode_entities(&String::from_utf8_lossy(raw)));
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated attribute value")
+    }
+
+    /// Skip prolog junk: declaration, PIs, comments, DOCTYPE, whitespace.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.eat("<?") {
+                self.skip_until("?>")?;
+            } else if self.eat("<!--") {
+                self.skip_until("-->")?;
+            } else if self.eat("<!DOCTYPE") {
+                // No internal-subset support; skip to the closing `>`.
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parse `<name attr="v" ...` up to but excluding the closing `>`/`/>`.
+    fn open_tag(&mut self, tree: &mut XmlTree, elem: ElementId) -> Result<bool, ParseError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false); // open element
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(">")?;
+                    return Ok(true); // self-closing
+                }
+                Some(_) => {
+                    let name = self.name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.quoted_value()?;
+                    tree.push_attribute(elem, name, value);
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<XmlTree, ParseError> {
+        self.skip_misc()?;
+        self.expect("<")?;
+        let root_tag = self.name()?;
+        let mut tree = XmlTree::new(root_tag);
+        let root = tree.root();
+        let self_closing = self.open_tag(&mut tree, root)?;
+        if !self_closing {
+            self.content(&mut tree, root)?;
+        }
+        self.skip_misc()?;
+        if self.pos != self.input.len() {
+            return self.err("trailing content after document element");
+        }
+        Ok(tree)
+    }
+
+    /// Parse element content until the matching end tag is consumed.
+    fn content(&mut self, tree: &mut XmlTree, elem: ElementId) -> Result<(), ParseError> {
+        loop {
+            let start = self.pos;
+            // Character data up to the next markup.
+            while !matches!(self.peek(), Some(b'<') | None) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]);
+                let text = decode_entities(&raw);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    tree.push_text(elem, trimmed);
+                }
+            }
+            if self.peek().is_none() {
+                return self.err(format!("missing end tag for <{}>", tree.tag(elem)));
+            }
+            if self.eat("<!--") {
+                self.skip_until("-->")?;
+            } else if self.eat("<?") {
+                self.skip_until("?>")?;
+            } else if self.eat("</") {
+                let name = self.name()?;
+                if name != tree.tag(elem) {
+                    return self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        tree.tag(elem),
+                        name
+                    ));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(());
+            } else {
+                self.expect("<")?;
+                let name = self.name()?;
+                let child = tree.add_child(elem, name);
+                let self_closing = self.open_tag(tree, child)?;
+                if !self_closing {
+                    self.content(tree, child)?;
+                }
+            }
+        }
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let entity_end = rest.find(';');
+        match entity_end {
+            Some(end) => {
+                let decoded = match &rest[..=end] {
+                    "&lt;" => Some('<'),
+                    "&gt;" => Some('>'),
+                    "&amp;" => Some('&'),
+                    "&apos;" => Some('\''),
+                    "&quot;" => Some('"'),
+                    _ => None,
+                };
+                match decoded {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &rest[end + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn encode_entities(s: &str, attr: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse an XML document.
+pub fn parse(input: &str) -> Result<XmlTree, ParseError> {
+    Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    }
+    .document()
+}
+
+/// Serialize a document (or subtree) back to XML text.
+pub fn to_string(tree: &XmlTree, root: ElementId) -> String {
+    let mut out = String::new();
+    write_element(tree, root, &mut out);
+    out
+}
+
+fn write_element(tree: &XmlTree, elem: ElementId, out: &mut String) {
+    out.push('<');
+    out.push_str(tree.tag(elem));
+    for (name, value) in tree.attributes(elem) {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&encode_entities(value, true));
+        out.push('"');
+    }
+    let children = tree.children(elem);
+    let text = tree.text(elem);
+    if children.is_empty() && text.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    out.push_str(&encode_entities(text, false));
+    for &c in children {
+        write_element(tree, c, out);
+    }
+    out.push_str("</");
+    out.push_str(tree.tag(elem));
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_style_document() {
+        let doc = "<site><regions><africa><item/><item/></africa><asia><item/></asia>\
+                   </regions><people><person/></people></site>";
+        let t = parse(doc).unwrap();
+        assert_eq!(t.tag(t.root()), "site");
+        assert_eq!(t.len(), 9);
+        let order: Vec<&str> = t.document_order().iter().map(|&e| t.tag(e)).collect();
+        assert_eq!(
+            order,
+            vec!["site", "regions", "africa", "item", "item", "asia", "item", "people", "person"]
+        );
+    }
+
+    #[test]
+    fn parses_attributes_and_text() {
+        let t = parse(r#"<a id="1" k='two'>hello <b/> world</a>"#).unwrap();
+        assert_eq!(
+            t.attributes(t.root()),
+            &[("id".into(), "1".into()), ("k".into(), "two".into())]
+        );
+        // Text chunks are whitespace-trimmed and concatenated.
+        assert_eq!(t.text(t.root()), "helloworld");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parses_prolog_comments_and_pis() {
+        let t = parse(
+            "<?xml version=\"1.0\"?><!-- c --><!DOCTYPE site>\n<a><!-- inner --><b/><?pi x?></a>",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let t = parse("<a x=\"&lt;&amp;&gt;\">&quot;hi&quot; &apos;there&apos;</a>").unwrap();
+        assert_eq!(t.attributes(t.root())[0].1, "<&>");
+        assert_eq!(t.text(t.root()), "\"hi\" 'there'");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a attr=\"x>").is_err());
+    }
+
+    #[test]
+    fn serializer_roundtrips() {
+        let src = r#"<a id="1">t<b k="v&quot;w"><c/></b>x</a>"#;
+        let t = parse(src).unwrap();
+        let text = to_string(&t, t.root());
+        let t2 = parse(&text).unwrap();
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(
+            t.document_order()
+                .iter()
+                .map(|&e| t.tag(e).to_owned())
+                .collect::<Vec<_>>(),
+            t2.document_order()
+                .iter()
+                .map(|&e| t2.tag(e).to_owned())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lone_ampersand_is_literal() {
+        let t = parse("<a>fish & chips</a>").unwrap();
+        assert_eq!(t.text(t.root()), "fish & chips");
+    }
+}

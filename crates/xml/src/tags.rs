@@ -1,0 +1,125 @@
+//! The tag stream of a document.
+//!
+//! §3: each element has a start and an end tag; a valid labeling assigns
+//! increasing values along the document's tag sequence. N — the paper's size
+//! parameter — is the number of tags, i.e. twice the element count.
+
+use crate::tree::{ElementId, XmlTree};
+
+/// Which of an element's two tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TagKind {
+    /// The opening tag.
+    Start,
+    /// The closing tag.
+    End,
+}
+
+/// One tag in the document's tag sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// The element this tag belongs to.
+    pub element: ElementId,
+    /// Start or end.
+    pub kind: TagKind,
+}
+
+impl Tag {
+    /// The start tag of `element`.
+    pub fn start(element: ElementId) -> Self {
+        Tag {
+            element,
+            kind: TagKind::Start,
+        }
+    }
+
+    /// The end tag of `element`.
+    pub fn end(element: ElementId) -> Self {
+        Tag {
+            element,
+            kind: TagKind::End,
+        }
+    }
+}
+
+/// The full tag sequence of the document, in document order. The length is
+/// always `2 * tree.len()` and tags are properly nested.
+pub fn tag_sequence(tree: &XmlTree) -> Vec<Tag> {
+    let mut out = Vec::with_capacity(tree.len() * 2);
+    // Explicit stack of (element, next-child-index) to avoid recursion on
+    // deep documents.
+    let mut stack: Vec<(ElementId, usize)> = vec![(tree.root(), 0)];
+    out.push(Tag::start(tree.root()));
+    while let Some(top) = stack.len().checked_sub(1) {
+        let (e, next) = stack[top];
+        let children = tree.children(e);
+        if next < children.len() {
+            stack[top].1 += 1;
+            let c = children[next];
+            out.push(Tag::start(c));
+            stack.push((c, 0));
+        } else {
+            out.push(Tag::end(e));
+            stack.pop();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_properly_nested() {
+        // <a><b><d/></b><c/></a>
+        let mut t = XmlTree::new("a");
+        let b = t.add_child(t.root(), "b");
+        let d = t.add_child(b, "d");
+        let c = t.add_child(t.root(), "c");
+        let seq = tag_sequence(&t);
+        assert_eq!(seq.len(), 8);
+        assert_eq!(
+            seq,
+            vec![
+                Tag::start(t.root()),
+                Tag::start(b),
+                Tag::start(d),
+                Tag::end(d),
+                Tag::end(b),
+                Tag::start(c),
+                Tag::end(c),
+                Tag::end(t.root()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nesting_depth_never_negative_and_balances() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_child(t.root(), "a");
+        let b = t.add_child(a, "b");
+        t.add_child(b, "c");
+        t.add_child(a, "d");
+        let mut depth = 0i64;
+        for tag in tag_sequence(&t) {
+            match tag.kind {
+                TagKind::Start => depth += 1,
+                TagKind::End => depth -= 1,
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut t = XmlTree::new("r");
+        let mut cur = t.root();
+        for _ in 0..100_000 {
+            cur = t.add_child(cur, "x");
+        }
+        let seq = tag_sequence(&t);
+        assert_eq!(seq.len(), 2 * t.len());
+    }
+}

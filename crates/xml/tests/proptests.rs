@@ -1,0 +1,100 @@
+//! Property tests for the XML substrate: parser/serializer roundtrips and
+//! tag-sequence invariants over arbitrary generated trees.
+
+use boxes_xml::parse;
+use boxes_xml::tags::{tag_sequence, TagKind};
+use boxes_xml::tree::XmlTree;
+use proptest::prelude::*;
+
+/// Strategy: a tree as a parent-pointer vector (parent[i] < i), plus a tag
+/// name index per element.
+fn tree_strategy() -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec((any::<u32>(), 0usize..6), 0..60).prop_map(|nodes| {
+        let names = ["a", "b", "item", "person", "x-1", "ns.tag"];
+        let mut tree = XmlTree::new("root");
+        let mut ids = vec![tree.root()];
+        for (raw_parent, name) in nodes {
+            let parent = ids[(raw_parent as usize) % ids.len()];
+            let id = tree.add_child(parent, names[name]);
+            ids.push(id);
+        }
+        tree
+    })
+}
+
+proptest! {
+    #[test]
+    fn serializer_parser_roundtrip(tree in tree_strategy()) {
+        let text = boxes_xml::parse::to_string(&tree, tree.root());
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back.len(), tree.len());
+        let tags_a: Vec<String> = tree
+            .document_order()
+            .iter()
+            .map(|&e| tree.tag(e).to_owned())
+            .collect();
+        let tags_b: Vec<String> = back
+            .document_order()
+            .iter()
+            .map(|&e| back.tag(e).to_owned())
+            .collect();
+        prop_assert_eq!(tags_a, tags_b);
+    }
+
+    #[test]
+    fn tag_sequence_is_balanced_and_complete(tree in tree_strategy()) {
+        let seq = tag_sequence(&tree);
+        prop_assert_eq!(seq.len(), tree.len() * 2);
+        let mut depth = 0i64;
+        let mut open = Vec::new();
+        for tag in &seq {
+            match tag.kind {
+                TagKind::Start => {
+                    open.push(tag.element);
+                    depth += 1;
+                }
+                TagKind::End => {
+                    prop_assert_eq!(open.pop(), Some(tag.element), "properly nested");
+                    depth -= 1;
+                }
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn ancestor_equals_tag_interval_containment(tree in tree_strategy()) {
+        let seq = tag_sequence(&tree);
+        let mut pos = std::collections::HashMap::new();
+        for (i, t) in seq.iter().enumerate() {
+            pos.entry(t.element).or_insert([0usize; 2])
+                [matches!(t.kind, TagKind::End) as usize] = i;
+        }
+        let order = tree.document_order();
+        for (i, &a) in order.iter().enumerate().step_by(3) {
+            for &d in order.iter().skip(i % 2).step_by(5) {
+                if a == d { continue; }
+                let pa = pos[&a];
+                let pd = pos[&d];
+                let by_interval = pa[0] < pd[0] && pd[1] < pa[1];
+                prop_assert_eq!(by_interval, tree.is_ancestor(a, d));
+            }
+        }
+    }
+
+    #[test]
+    fn entities_and_attributes_roundtrip(
+        value in "[ -~]{0,30}",
+        text in "[ -~]{0,30}",
+    ) {
+        let mut tree = XmlTree::new("e");
+        tree.push_attribute(tree.root(), "attr".into(), value.clone());
+        tree.push_text(tree.root(), text.trim());
+        let serialized = boxes_xml::parse::to_string(&tree, tree.root());
+        let back = parse(&serialized).unwrap();
+        prop_assert_eq!(&back.attributes(back.root())[0].1, &value);
+        // The parser trims text chunks; whitespace-only content vanishes.
+        prop_assert_eq!(back.text(back.root()).trim(), text.trim());
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Substitute measured tables from results/ into EXPERIMENTS.md."""
+import pathlib, re, sys
+
+scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+root = pathlib.Path(__file__).parent
+results = root / "results"
+
+def table_of(name):
+    path = results / f"{name}_{scale}.txt"
+    if not path.exists():
+        return f"*(missing: run `./run_experiments.sh {scale}`)*"
+    text = path.read_text().strip()
+    return text if text else "*(empty output)*"
+
+mapping = {
+    "PLACEHOLDER_FIG5": "fig5_concentrated",
+    "PLACEHOLDER_FIG7": "fig7_scattered",
+    "PLACEHOLDER_FIG8": "fig8_xmark",
+    "PLACEHOLDER_QUERY": "tab_query_cost",
+    "PLACEHOLDER_BULK": "tab_bulk_insert",
+    "PLACEHOLDER_BITS": "tab_label_bits",
+    "PLACEHOLDER_A1": "abl_wbox_params",
+    "PLACEHOLDER_A2": "abl_bbox_fill",
+    "PLACEHOLDER_A3": "abl_cache_log",
+    "PLACEHOLDER_A4": "abl_buffer_pool",
+}
+
+doc = (root / "EXPERIMENTS.md").read_text()
+for placeholder, name in mapping.items():
+    block = "```text\n" + table_of(name) + "\n```"
+    doc = doc.replace(placeholder, block)
+(root / "EXPERIMENTS.md").write_text(doc)
+print("EXPERIMENTS.md updated from results/*_%s.txt" % scale)

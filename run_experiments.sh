@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every figure and table of the paper (DESIGN.md E1-E8, A1-A4).
+# Usage: ./run_experiments.sh [tiny|small|paper]
+set -e
+SCALE="${1:-small}"
+mkdir -p results
+for bin in fig5_concentrated fig6_concentrated_dist fig7_scattered fig8_xmark \
+           fig9_xmark_dist tab_query_cost tab_bulk_insert tab_label_bits \
+           abl_wbox_params abl_bbox_fill abl_cache_log abl_buffer_pool; do
+    echo "=== $bin ($SCALE) ==="
+    cargo run --release -p boxes-bench --bin "$bin" -- --scale "$SCALE" \
+        > "results/${bin}_${SCALE}.txt" 2> "results/${bin}_${SCALE}.log"
+done
+echo "done; results in results/"
