@@ -63,11 +63,7 @@ impl BBox {
     /// lids in order). The root's back-link is INVALID; callers splice it.
     pub(crate) fn build_forest(&mut self, count: usize) -> (BlockId, usize, Vec<Lid>) {
         assert!(count > 0);
-        let leaf_sizes = chunk_sizes(
-            count,
-            self.config().leaf_capacity,
-            self.config().min_leaf(),
-        );
+        let leaf_sizes = chunk_sizes(count, self.config().leaf_capacity, self.config().min_leaf());
         // Allocate leaf blocks up front so LIDF records can be appended
         // sequentially with the right pointers.
         let leaf_ids: Vec<BlockId> = leaf_sizes.iter().map(|_| self.pager().alloc()).collect();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! B-BOX: the Back-linked B-tree for Ordering XML (§5 of the paper).
 //!
@@ -33,6 +34,7 @@
 //! assert!(bbox.lookup(new) < bbox.lookup(lids[50]));
 //! ```
 
+mod audit;
 mod bulk;
 mod config;
 mod label;

@@ -170,26 +170,60 @@ impl Node {
     }
 
     /// Deserialize from a block buffer.
+    ///
+    /// # Panics
+    /// Panics on bytes that do not decode as a node; auditors use
+    /// [`Node::try_decode`] instead.
     pub fn decode(buf: &[u8]) -> Self {
+        match Self::try_decode(buf) {
+            Ok(node) => node,
+            Err(e) => panic!("corrupt B-BOX node: {e}"),
+        }
+    }
+
+    /// Deserialize from a block buffer without panicking: structural
+    /// problems (unknown kind byte, an entry count that overruns the block)
+    /// come back as a description instead.
+    pub fn try_decode(buf: &[u8]) -> Result<Self, String> {
+        if buf.len() < HEADER_SIZE {
+            return Err(format!(
+                "{}-byte block is smaller than a node header",
+                buf.len()
+            ));
+        }
         let mut r = Reader::new(buf);
         let kind = r.u8();
         let count = r.u16() as usize;
         let parent = BlockId(r.u32());
         match kind {
             KIND_LEAF => {
+                let need = HEADER_SIZE + count * LEAF_ENTRY_SIZE;
+                if need > buf.len() {
+                    return Err(format!(
+                        "leaf entry count {count} needs {need} bytes, block has {}",
+                        buf.len()
+                    ));
+                }
                 let lids = (0..count).map(|_| Lid(r.u64())).collect();
-                Node::Leaf { parent, lids }
+                Ok(Node::Leaf { parent, lids })
             }
             KIND_INTERNAL => {
+                let need = HEADER_SIZE + count * INTERNAL_ENTRY_SIZE;
+                if need > buf.len() {
+                    return Err(format!(
+                        "internal entry count {count} needs {need} bytes, block has {}",
+                        buf.len()
+                    ));
+                }
                 let entries = (0..count)
                     .map(|_| ChildEntry {
                         child: BlockId(r.u32()),
                         size: r.u64(),
                     })
                     .collect();
-                Node::Internal { parent, entries }
+                Ok(Node::Internal { parent, entries })
             }
-            k => panic!("corrupt B-BOX node: kind {k}"),
+            k => Err(format!("kind {k}")),
         }
     }
 }

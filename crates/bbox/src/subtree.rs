@@ -513,7 +513,13 @@ mod tests {
     fn assert_order(b: &BBox, lids: &[Lid]) {
         let labels: Vec<PathLabel> = lids.iter().map(|&l| b.lookup(l)).collect();
         for (i, w) in labels.windows(2).enumerate() {
-            assert!(w[0] < w[1], "order violated at {}: {:?} !< {:?}", i, w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "order violated at {}: {:?} !< {:?}",
+                i,
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -667,8 +673,14 @@ mod tests {
         // Same logical document: position i survivors align.
         let la = bulk.iter_lids();
         let lb = loose.iter_lids();
-        let pos_a: Vec<usize> = la.iter().map(|l| a.iter().position(|x| x == l).unwrap()).collect();
-        let pos_b: Vec<usize> = lb.iter().map(|l| b.iter().position(|x| x == l).unwrap()).collect();
+        let pos_a: Vec<usize> = la
+            .iter()
+            .map(|l| a.iter().position(|x| x == l).unwrap())
+            .collect();
+        let pos_b: Vec<usize> = lb
+            .iter()
+            .map(|l| b.iter().position(|x| x == l).unwrap())
+            .collect();
         assert_eq!(pos_a, pos_b);
     }
 
@@ -750,7 +762,9 @@ mod repro {
         // Delete(125, 480) → indices wrapped
         let mut a = 125 % order.len();
         let mut c = 480 % order.len();
-        if a > c { std::mem::swap(&mut a, &mut c); }
+        if a > c {
+            std::mem::swap(&mut a, &mut c);
+        }
         if a != c {
             b.delete_subtree(order[a], order[c]);
             order.drain(a..=c);

@@ -199,8 +199,17 @@ impl BBox {
         &self.pager
     }
 
+    /// Whether `lid` currently names a live label (one LIDF slot read).
+    pub fn is_live(&self, lid: Lid) -> bool {
+        self.lidf.is_live(lid)
+    }
+
     pub(crate) fn root_id(&self) -> BlockId {
         self.root
+    }
+
+    pub(crate) fn lidf_ref(&self) -> &Lidf<BlockPtrRecord> {
+        &self.lidf
     }
 
     pub(crate) fn set_root(&mut self, root: BlockId, height: usize) {
@@ -364,9 +373,7 @@ impl BBox {
             );
             if pa == pb {
                 let p = self.read_node(pa);
-                return p
-                    .position_of_child(cur_a)
-                    .cmp(&p.position_of_child(cur_b));
+                return p.position_of_child(cur_a).cmp(&p.position_of_child(cur_b));
             }
             cur_a = pa;
             cur_b = pb;
@@ -811,68 +818,12 @@ impl BBox {
         }
     }
 
-    /// Exhaustively verify structural invariants; panics on violation.
-    /// Intended for tests (reads the whole tree).
+    /// Exhaustively verify the §5 invariants; panics on violation with the
+    /// full [`boxes_audit::AuditReport`] listing. Intended for tests (reads
+    /// the whole tree). The non-panicking form is
+    /// [`boxes_audit::Auditable::audit`].
     pub fn validate(&self) {
-        let (count, depth) = self.validate_node(self.root, BlockId::INVALID, true);
-        assert_eq!(count, self.len, "record count mismatch");
-        assert_eq!(depth, self.height, "height mismatch");
-        // Every LID must resolve back to the leaf that holds it.
-        for lid in self.iter_lids() {
-            let block = self.lidf.read(lid).block;
-            let node = self.read_node(block);
-            assert!(
-                node.lids().contains(&lid),
-                "LIDF points {lid:?} at the wrong leaf"
-            );
-        }
-    }
-
-    fn validate_node(&self, id: BlockId, expect_parent: BlockId, is_root: bool) -> (u64, usize) {
-        let node = self.read_node(id);
-        assert_eq!(node.parent(), expect_parent, "bad back-link at {id:?}");
-        match node {
-            Node::Leaf { lids, .. } => {
-                assert!(lids.len() <= self.config.leaf_capacity, "overfull leaf");
-                if !is_root {
-                    assert!(
-                        lids.len() >= self.config.min_leaf(),
-                        "underfull leaf: {} < {}",
-                        lids.len(),
-                        self.config.min_leaf()
-                    );
-                }
-                (lids.len() as u64, 1)
-            }
-            Node::Internal { entries, .. } => {
-                assert!(
-                    entries.len() <= self.config.internal_capacity,
-                    "overfull internal node"
-                );
-                if is_root {
-                    assert!(entries.len() >= 2, "internal root needs ≥ 2 children");
-                } else {
-                    assert!(
-                        entries.len() >= self.config.min_internal(),
-                        "underfull internal node"
-                    );
-                }
-                let mut total = 0;
-                let mut depth = None;
-                for e in &entries {
-                    let (c, d) = self.validate_node(e.child, id, false);
-                    if self.config.ordinal {
-                        assert_eq!(e.size, c, "stale size field under {id:?}");
-                    }
-                    total += c;
-                    match depth {
-                        None => depth = Some(d),
-                        Some(prev) => assert_eq!(prev, d, "leaves at unequal depth"),
-                    }
-                }
-                (total, depth.expect("internal node has children") + 1)
-            }
-        }
+        boxes_audit::Auditable::audit(self).assert_clean("B-BOX");
     }
 
     /// Blocks used by the tree plus its LIDF.

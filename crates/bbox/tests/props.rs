@@ -2,6 +2,7 @@
 //! invariants after arbitrary op scripts, including bulk subtree ops and
 //! both fill policies.
 
+use boxes_audit::Auditable;
 use boxes_bbox::{BBox, BBoxConfig, FillPolicy};
 use boxes_pager::{Pager, PagerConfig};
 use proptest::prelude::*;
@@ -26,7 +27,7 @@ fn ops() -> impl Strategy<Value = Vec<BOp>> {
     )
 }
 
-fn run(mut b: BBox, script: &[BOp]) {
+fn run(mut b: BBox, script: &[BOp], audit_every_op: bool) {
     let mut order = b.bulk_load(80);
     for op in script {
         match *op {
@@ -64,6 +65,12 @@ fn run(mut b: BBox, script: &[BOp]) {
                 order.drain(a..=c);
             }
         }
+        if audit_every_op {
+            // The non-panicking audit path: the report must come back empty
+            // after every single op, not merely at the end of the script.
+            let report = b.audit();
+            assert!(report.is_clean(), "dirty after {op:?}:\n{report}");
+        }
     }
     b.validate();
     assert_eq!(b.iter_lids(), order);
@@ -75,7 +82,7 @@ proptest! {
     #[test]
     fn plain_bbox_invariants(script in ops()) {
         let pager = Pager::new(PagerConfig::with_block_size(128));
-        run(BBox::new(pager, BBoxConfig::from_block_size(128)), &script);
+        run(BBox::new(pager, BBoxConfig::from_block_size(128)), &script, false);
     }
 
     #[test]
@@ -84,6 +91,7 @@ proptest! {
         run(
             BBox::new(pager, BBoxConfig::from_block_size(128).with_ordinal()),
             &script,
+            false,
         );
     }
 
@@ -96,6 +104,13 @@ proptest! {
                 BBoxConfig::from_block_size(128).with_fill(FillPolicy::Quarter),
             ),
             &script,
+            false,
         );
+    }
+
+    #[test]
+    fn invariants_hold_after_every_single_op(script in ops()) {
+        let pager = Pager::new(PagerConfig::with_block_size(128));
+        run(BBox::new(pager, BBoxConfig::from_block_size(128)), &script, true);
     }
 }

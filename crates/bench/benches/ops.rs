@@ -4,11 +4,11 @@
 //! binaries); these benches complement them with wall-time per operation on
 //! the in-memory substrate, confirming the same relative ordering.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use boxes_core::bbox::BBoxConfig;
 use boxes_core::naive::NaiveConfig;
 use boxes_core::pager::{Pager, PagerConfig};
 use boxes_core::wbox::WBoxConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 const BS: usize = 8192;
 const N: usize = 100_000;
@@ -38,8 +38,7 @@ fn bench_lookup(c: &mut Criterion) {
     });
 
     let pager = Pager::new(PagerConfig::with_block_size(BS));
-    let mut naive =
-        boxes_core::naive::NaiveLabeling::new(pager, NaiveConfig { extra_bits: 16 });
+    let mut naive = boxes_core::naive::NaiveLabeling::new(pager, NaiveConfig { extra_bits: 16 });
     let nlids = naive.bulk_load(N);
     group.bench_function("naive16", |b| {
         b.iter(|| {
@@ -58,8 +57,7 @@ fn bench_insert_concentrated(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let pager = Pager::new(PagerConfig::with_block_size(BS));
-                let mut w =
-                    boxes_core::wbox::WBox::new(pager, WBoxConfig::from_block_size(BS));
+                let mut w = boxes_core::wbox::WBox::new(pager, WBoxConfig::from_block_size(BS));
                 let lids = w.bulk_load(N);
                 (w, lids[N / 2])
             },
@@ -76,8 +74,7 @@ fn bench_insert_concentrated(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let pager = Pager::new(PagerConfig::with_block_size(BS));
-                let mut t =
-                    boxes_core::bbox::BBox::new(pager, BBoxConfig::from_block_size(BS));
+                let mut t = boxes_core::bbox::BBox::new(pager, BBoxConfig::from_block_size(BS));
                 let lids = t.bulk_load(N);
                 (t, lids[N / 2])
             },

@@ -18,9 +18,19 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: B-BOX minimum fill under insert/delete churn at one spot",
-        &["policy", "avg I/Os per op", "max", "leaf splits", "merges", "borrows"],
+        &[
+            "policy",
+            "avg I/Os per op",
+            "max",
+            "leaf splits",
+            "merges",
+            "borrows",
+        ],
     );
-    for (name, fill) in [("B/2 (Half)", FillPolicy::Half), ("B/4 (Quarter)", FillPolicy::Quarter)] {
+    for (name, fill) in [
+        ("B/2 (Half)", FillPolicy::Half),
+        ("B/4 (Quarter)", FillPolicy::Quarter),
+    ] {
         let pager = Pager::new(PagerConfig::with_block_size(bs));
         let scheme = BBoxScheme::new(pager, BBoxConfig::from_block_size(bs).with_fill(fill));
         eprint!("  {name} ...");

@@ -15,7 +15,12 @@ fn main() {
     let stream = concentrated(scale.base_elements / 2, scale.insert_elements / 2);
     let mut table = Table::new(
         "Ablation: LRU buffer pool size vs amortized update cost (concentrated)",
-        &["scheme", "pool blocks", "avg I/Os per element insert", "pool hit rate"],
+        &[
+            "scheme",
+            "pool blocks",
+            "avg I/Os per element insert",
+            "pool hit rate",
+        ],
     );
     for pool in [0usize, 4, 64, 1024] {
         for which in ["W-BOX", "B-BOX"] {

@@ -9,9 +9,9 @@
 use boxes_bench::{Scale, Table};
 use boxes_core::cache::CachedRef;
 use boxes_core::pager::{Pager, PagerConfig};
+use boxes_core::wbox::WBox;
 use boxes_core::wbox::WBoxConfig;
 use boxes_core::CachedWBox;
-use boxes_core::wbox::WBox;
 
 fn main() {
     let (scale, bs) = Scale::from_args();
@@ -21,7 +21,14 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: §6 cache effectiveness vs log size k (W-BOX, non-ordinal labels)",
-        &["log size k", "reads per update", "avoid-I/O rate", "hits", "replays", "full"],
+        &[
+            "log size k",
+            "reads per update",
+            "avoid-I/O rate",
+            "hits",
+            "replays",
+            "full",
+        ],
     );
     for k in [0usize, 1, 4, 16, 64, 256] {
         for reads_per_update in [1usize, 10, 100] {
@@ -29,8 +36,7 @@ fn main() {
             let mut wbox = WBox::new(pager, WBoxConfig::from_block_size(bs));
             let lids = wbox.bulk_load(n_labels);
             let mut cached = CachedWBox::new(wbox, k);
-            let mut refs: Vec<CachedRef<u64>> =
-                (0..refs_count).map(|_| CachedRef::new()).collect();
+            let mut refs: Vec<CachedRef<u64>> = (0..refs_count).map(|_| CachedRef::new()).collect();
             let probes: Vec<_> = (0..refs_count)
                 .map(|i| lids[(i * 131) % lids.len()])
                 .collect();

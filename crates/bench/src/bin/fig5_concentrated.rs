@@ -32,7 +32,13 @@ fn main() {
             "Figure 5: amortized update cost, concentrated insertion ({} scale)",
             scale.name
         ),
-        &["scheme", "avg I/Os per element insert", "max", "label bits", "blocks"],
+        &[
+            "scheme",
+            "avg I/Os per element insert",
+            "max",
+            "label bits",
+            "blocks",
+        ],
     );
     for r in &results {
         table.row(vec![

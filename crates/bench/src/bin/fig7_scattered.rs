@@ -32,7 +32,11 @@ fn main() {
         &stream,
         block_size,
     );
-    results.extend(run_schemes(&[SchemeKind::Naive(1)], &naive1_stream, block_size));
+    results.extend(run_schemes(
+        &[SchemeKind::Naive(1)],
+        &naive1_stream,
+        block_size,
+    ));
     results.extend(run_schemes(
         &[
             SchemeKind::Naive(4),
@@ -49,7 +53,13 @@ fn main() {
             "Figure 7: amortized update cost, scattered insertion ({} scale)",
             scale.name
         ),
-        &["scheme", "avg I/Os per element insert", "max", "label bits", "blocks"],
+        &[
+            "scheme",
+            "avg I/Os per element insert",
+            "max",
+            "label bits",
+            "blocks",
+        ],
     );
     for r in &results {
         table.row(vec![

@@ -26,7 +26,13 @@ fn main() {
             scale.name,
             doc.max_depth()
         ),
-        &["scheme", "avg I/Os per element insert", "max", "label bits", "blocks"],
+        &[
+            "scheme",
+            "avg I/Os per element insert",
+            "max",
+            "label bits",
+            "blocks",
+        ],
     );
     for r in &results {
         table.row(vec![

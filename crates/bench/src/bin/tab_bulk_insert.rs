@@ -4,9 +4,9 @@
 //! element it costs millions of I/Os, via the bulk insert methods orders of
 //! magnitude less (paper: W-BOX 5,401,885 → 11,374; B-BOX 2,000,448 → 492).
 
+use boxes_bench::runner::run_stream;
 use boxes_bench::{Scale, SchemeKind, Table};
 use boxes_core::xml::workload::{concentrated, concentrated_bulk};
-use boxes_bench::runner::run_stream;
 
 fn main() {
     let (scale, bs) = Scale::from_args();

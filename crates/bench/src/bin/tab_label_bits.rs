@@ -5,8 +5,8 @@
 //! bits; BOX labels stay O(log N); naive-32 and larger "exceed machine
 //! word size" and are slower to process.
 
-use boxes_bench::{Scale, SchemeKind, Table};
 use boxes_bench::runner::run_stream;
+use boxes_bench::{Scale, SchemeKind, Table};
 use boxes_core::xml::generate::xmark;
 use boxes_core::xml::workload::{concentrated, document_order, scattered};
 

@@ -68,7 +68,10 @@ fn measure<S: LabelingScheme>(
 
 fn main() {
     let (scale, bs) = Scale::from_args();
-    eprintln!("Query-cost table after concentrated build ({} scale)", scale.name);
+    eprintln!(
+        "Query-cost table after concentrated build ({} scale)",
+        scale.name
+    );
     let mut rows = Vec::new();
 
     // W-BOX: plain pair lookup = two separate lookups.
@@ -161,7 +164,10 @@ fn main() {
     }
 
     let mut table = Table::new(
-        format!("Query performance ({} scale): avg I/Os per lookup, LIDF hop included", scale.name),
+        format!(
+            "Query performance ({} scale): avg I/Os per lookup, LIDF hop included",
+            scale.name
+        ),
         &["scheme", "single label", "start+end pair", "ordinal label"],
     );
     for r in &rows {

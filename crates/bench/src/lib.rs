@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Experiment harness for the BOXes reproduction: everything §7 measures,
 //! as reusable runners. One binary per figure/table lives in `src/bin/`;

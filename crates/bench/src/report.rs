@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f(1234.5), "1234"); // ties-to-even at .5
-        assert_eq!(fmt_f(3.14159), "3.14");
+        assert_eq!(fmt_f(4.25159), "4.25");
         assert_eq!(fmt_f(0.123456), "0.1235");
     }
 }

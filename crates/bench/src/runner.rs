@@ -1,10 +1,10 @@
 //! Scheme construction and stream execution for the experiments.
 
+use boxes_core::bbox::BBoxConfig;
 use boxes_core::pager::{IoStats, Pager, PagerConfig};
 use boxes_core::wbox::WBoxConfig;
-use boxes_core::bbox::BBoxConfig;
-use boxes_core::{BBoxScheme, DocumentDriver, LabelingScheme, NaiveScheme, WBoxScheme};
 use boxes_core::xml::workload::UpdateStream;
+use boxes_core::{BBoxScheme, DocumentDriver, LabelingScheme, NaiveScheme, WBoxScheme};
 use std::time::{Duration, Instant};
 
 /// Which labeling scheme to construct — the lines of Figures 5–9.
@@ -173,11 +173,7 @@ pub fn run_schemes(
         .map(|&kind| {
             eprint!("  {:<12} ...", kind.name());
             let result = run_stream(kind, stream, block_size);
-            eprintln!(
-                " avg {:.2} I/Os, {:?}",
-                result.avg_io(),
-                result.elapsed
-            );
+            eprintln!(" avg {:.2} I/Os, {:?}", result.avg_io(), result.elapsed);
             result
         })
         .collect()

@@ -81,22 +81,17 @@ impl Scale {
                         Some("small") => Scale::small(),
                         Some("tiny") => Scale::tiny(),
                         other => {
-                            eprintln!(
-                                "unknown scale {other:?}; use tiny|small|medium|paper"
-                            );
+                            eprintln!("unknown scale {other:?}; use tiny|small|medium|paper");
                             std::process::exit(2);
                         }
                     };
                 }
                 "--block-size" => {
                     i += 1;
-                    block_size = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--block-size needs a byte count");
-                            std::process::exit(2);
-                        });
+                    block_size = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--block-size needs a byte count");
+                        std::process::exit(2);
+                    });
                 }
                 other => {
                     eprintln!(

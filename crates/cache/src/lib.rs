@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Reducing the cost of indirection (§6 of the paper): caching + logging.
 //!
@@ -98,6 +99,12 @@ impl<E> ModLog<E> {
             .iter()
             .filter(move |(ts, _)| *ts > last_cached)
             .map(|(_, e)| e)
+    }
+
+    /// Timestamps of the retained entries, oldest first (audit support:
+    /// they must be strictly increasing and end at or before the clock).
+    pub fn timestamps(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.entries.iter().map(|(ts, _)| *ts)
     }
 
     /// Number of retained entries.
@@ -449,11 +456,7 @@ mod tests {
             r.resolve(&log, || 0u64);
             log.record(OrdinalEffect::shift(1_000, 2));
             let res = r.resolve(&log, || 0);
-            assert_eq!(
-                matches!(res, Lookup::Full(_)),
-                expect_full,
-                "k = {k}"
-            );
+            assert_eq!(matches!(res, Lookup::Full(_)), expect_full, "k = {k}");
         }
     }
 

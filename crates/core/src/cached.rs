@@ -10,12 +10,91 @@
 //! caching"; `invalidated` entries (multi-leaf reorganizations) are rare —
 //! "on average only one in Θ(B) updates affects more than one leaf".
 
+use boxes_audit::{AuditReport, Auditable, Violation, ViolationKind};
 use boxes_bbox::{BBox, BBoxChange};
-use boxes_cache::{CacheStats, CachedRef, FlatEffect, ModLog, OrdinalEffect, PathEffect};
+use boxes_cache::{
+    CacheStats, CachedRef, Effect, FlatEffect, ModLog, OrdinalEffect, PathEffect, Timestamp,
+};
 use boxes_lidf::Lid;
 use boxes_wbox::WBox;
 
 use crate::scheme::OrdinalScheme;
+
+/// A replay anchor set: labels snapshotted at a log timestamp, against which
+/// [`Auditable::audit`] later checks that log replay reproduces the eager
+/// structure's answers (§6 equivalence).
+type Checkpoint<L> = Option<(Timestamp, Vec<(Lid, L)>)>;
+
+/// Log-structure audit shared by all three wrappers: entry timestamps must
+/// be strictly increasing (FIFO order) and never run ahead of the clock.
+fn audit_log_order<E>(log: &ModLog<E>, path: &str, report: &mut AuditReport) {
+    let mut prev: Option<Timestamp> = None;
+    for ts in log.timestamps() {
+        if let Some(p) = prev {
+            if ts <= p {
+                report.push(
+                    Violation::new(ViolationKind::LogOrder, path)
+                        .expected(format!("timestamp > {p} (strictly increasing FIFO)"))
+                        .actual(ts),
+                );
+            }
+        }
+        if ts > log.last_modified() {
+            report.push(
+                Violation::new(ViolationKind::LogOrder, path)
+                    .expected(format!("timestamp ≤ clock {}", log.last_modified()))
+                    .actual(ts),
+            );
+        }
+        prev = Some(ts);
+    }
+}
+
+/// §6 replay-equivalence audit: replay every checkpointed label through the
+/// effects logged since the snapshot; wherever the replay produces a value
+/// (no invalidation hit it), that value must equal the eager lookup. Dead
+/// anchors and snapshots older than the log's horizon are skipped.
+fn audit_replay<L, E>(
+    checkpoint: &Checkpoint<L>,
+    log: &ModLog<E>,
+    is_live: impl Fn(Lid) -> bool,
+    eager: impl Fn(Lid) -> L,
+    path: &str,
+    report: &mut AuditReport,
+) where
+    L: Clone + PartialEq + std::fmt::Debug,
+    E: Effect<L>,
+{
+    let Some((stamp, anchors)) = checkpoint else {
+        return;
+    };
+    if !log.covers(*stamp) {
+        return;
+    }
+    for (lid, old) in anchors {
+        if !is_live(*lid) {
+            continue;
+        }
+        let mut current = Some(old.clone());
+        for effect in log.since(*stamp) {
+            current = current.and_then(|v| effect.apply(&v));
+            if current.is_none() {
+                break;
+            }
+        }
+        let Some(replayed) = current else {
+            continue; // invalidated: the cache would fall back to a lookup
+        };
+        let truth = eager(*lid);
+        if replayed != truth {
+            report.push(
+                Violation::new(ViolationKind::ReplayDivergence, format!("{path}/{lid:?}"))
+                    .expected(format!("{truth:?} (eager lookup)"))
+                    .actual(format!("{replayed:?} (log replay)")),
+            );
+        }
+    }
+}
 
 /// W-BOX (non-ordinal labels) with a §6 modification log.
 pub struct CachedWBox {
@@ -25,6 +104,7 @@ pub struct CachedWBox {
     pub log: ModLog<FlatEffect>,
     /// Hit/replay/full counters.
     pub stats: CacheStats,
+    checkpoint: Checkpoint<u64>,
 }
 
 impl CachedWBox {
@@ -36,7 +116,17 @@ impl CachedWBox {
             wbox,
             log: ModLog::new(k),
             stats: CacheStats::default(),
+            checkpoint: None,
         }
+    }
+
+    /// Snapshot the current labels of `lids` together with the log clock.
+    /// A later [`Auditable::audit`] replays each snapshot through the
+    /// effects logged since and checks the result against the eager lookup.
+    pub fn checkpoint(&mut self, lids: &[Lid]) {
+        let stamp = self.log.last_modified();
+        let anchors = lids.iter().map(|&l| (l, self.wbox.lookup(l))).collect();
+        self.checkpoint = Some((stamp, anchors));
     }
 
     /// Resolve a label through a cached reference.
@@ -82,6 +172,9 @@ impl CachedWBox {
 
     /// Delete the label of `lid`, logging `[l, l_max]: −1`.
     pub fn delete(&mut self, lid: Lid) {
+        if let Some((_, anchors)) = &mut self.checkpoint {
+            anchors.retain(|(l, _)| *l != lid);
+        }
         let (l, l_max) = self.wbox.leaf_extent(lid);
         let _ = self.wbox.take_relabel_range();
         self.wbox.delete(lid);
@@ -103,6 +196,24 @@ impl CachedWBox {
     }
 }
 
+impl Auditable for CachedWBox {
+    /// Audit the wrapped W-BOX plus the §6 layer: log FIFO order and
+    /// replay-equivalence against the last [`CachedWBox::checkpoint`].
+    fn audit(&self) -> AuditReport {
+        let mut report = self.wbox.audit();
+        audit_log_order(&self.log, "cached-wbox/log", &mut report);
+        audit_replay(
+            &self.checkpoint,
+            &self.log,
+            |l| self.wbox.is_live(l),
+            |l| self.wbox.lookup(l),
+            "cached-wbox/replay",
+            &mut report,
+        );
+        report
+    }
+}
+
 /// B-BOX (non-ordinal, multi-component labels) with a §6 modification log.
 pub struct CachedBBox {
     /// The underlying B-BOX.
@@ -111,6 +222,7 @@ pub struct CachedBBox {
     pub log: ModLog<PathEffect>,
     /// Hit/replay/full counters.
     pub stats: CacheStats,
+    checkpoint: Checkpoint<Vec<u32>>,
 }
 
 impl CachedBBox {
@@ -120,7 +232,16 @@ impl CachedBBox {
             bbox,
             log: ModLog::new(k),
             stats: CacheStats::default(),
+            checkpoint: None,
         }
+    }
+
+    /// Snapshot the current labels of `lids` together with the log clock
+    /// (see [`CachedWBox::checkpoint`]).
+    pub fn checkpoint(&mut self, lids: &[Lid]) {
+        let stamp = self.log.last_modified();
+        let anchors = lids.iter().map(|&l| (l, self.bbox.lookup(l).0)).collect();
+        self.checkpoint = Some((stamp, anchors));
     }
 
     /// Resolve a label (as its component vector) through a cached
@@ -135,12 +256,8 @@ impl CachedBBox {
     fn log_changes(&mut self, changes: Vec<BBoxChange>) {
         for change in changes {
             let effect = match change {
-                BBoxChange::ChildrenFrom { prefix, j } => {
-                    PathEffect::InvalidateFrom { prefix, j }
-                }
-                BBoxChange::Boundary { prefix, j } => {
-                    PathEffect::InvalidateBoundary { prefix, j }
-                }
+                BBoxChange::ChildrenFrom { prefix, j } => PathEffect::InvalidateFrom { prefix, j },
+                BBoxChange::Boundary { prefix, j } => PathEffect::InvalidateBoundary { prefix, j },
             };
             self.log.record(effect);
         }
@@ -178,6 +295,9 @@ impl CachedBBox {
 
     /// Delete the label of `lid`, logging its effect.
     pub fn delete(&mut self, lid: Lid) {
+        if let Some((_, anchors)) = &mut self.checkpoint {
+            anchors.retain(|(l, _)| *l != lid);
+        }
         let (label, count) = self.bbox.leaf_extent(lid);
         let mut prefix = label.0;
         let pos = prefix.pop().expect("labels have at least one component");
@@ -197,6 +317,24 @@ impl CachedBBox {
     }
 }
 
+impl Auditable for CachedBBox {
+    /// Audit the wrapped B-BOX plus the §6 layer: log FIFO order and
+    /// replay-equivalence against the last [`CachedBBox::checkpoint`].
+    fn audit(&self) -> AuditReport {
+        let mut report = self.bbox.audit();
+        audit_log_order(&self.log, "cached-bbox/log", &mut report);
+        audit_replay(
+            &self.checkpoint,
+            &self.log,
+            |l| self.bbox.is_live(l),
+            |l| self.bbox.lookup(l).0,
+            "cached-bbox/replay",
+            &mut report,
+        );
+        report
+    }
+}
+
 /// Any ordinal-capable scheme with a §6 modification log over **ordinal**
 /// labels — the simplest effect algebra: `[l, ∞): ±1`, never invalidated.
 pub struct CachedOrdinal<S: OrdinalScheme> {
@@ -206,6 +344,7 @@ pub struct CachedOrdinal<S: OrdinalScheme> {
     pub log: ModLog<OrdinalEffect>,
     /// Hit/replay/full counters.
     pub stats: CacheStats,
+    checkpoint: Checkpoint<u64>,
 }
 
 impl<S: OrdinalScheme> CachedOrdinal<S> {
@@ -215,7 +354,19 @@ impl<S: OrdinalScheme> CachedOrdinal<S> {
             scheme,
             log: ModLog::new(k),
             stats: CacheStats::default(),
+            checkpoint: None,
         }
+    }
+
+    /// Snapshot the current ordinals of `lids` together with the log clock
+    /// (see [`CachedWBox::checkpoint`]).
+    pub fn checkpoint(&mut self, lids: &[Lid]) {
+        let stamp = self.log.last_modified();
+        let anchors = lids
+            .iter()
+            .map(|&l| (l, self.scheme.ordinal_of(l)))
+            .collect();
+        self.checkpoint = Some((stamp, anchors));
     }
 
     /// Resolve an ordinal label through a cached reference.
@@ -243,6 +394,9 @@ impl<S: OrdinalScheme> CachedOrdinal<S> {
 
     /// Delete the label of `lid`, logging `[l, ∞): −1`.
     pub fn delete(&mut self, lid: Lid) {
+        if let Some((_, anchors)) = &mut self.checkpoint {
+            anchors.retain(|(l, _)| *l != lid);
+        }
         let l = self.scheme.ordinal_of(lid);
         self.scheme.delete(lid);
         self.log.record(OrdinalEffect::shift(l, -1));
@@ -251,6 +405,24 @@ impl<S: OrdinalScheme> CachedOrdinal<S> {
     /// Lookup I/O-avoidance rate so far.
     pub fn avoidance_rate(&self) -> f64 {
         self.stats.avoidance_rate()
+    }
+}
+
+impl<S: OrdinalScheme + Auditable> Auditable for CachedOrdinal<S> {
+    /// Audit the wrapped scheme plus the §6 layer: log FIFO order and
+    /// replay-equivalence against the last [`CachedOrdinal::checkpoint`].
+    fn audit(&self) -> AuditReport {
+        let mut report = self.scheme.audit();
+        audit_log_order(&self.log, "cached-ordinal/log", &mut report);
+        audit_replay(
+            &self.checkpoint,
+            &self.log,
+            |l| self.scheme.is_live(l),
+            |l| self.scheme.ordinal_of(l),
+            "cached-ordinal/replay",
+            &mut report,
+        );
+        report
     }
 }
 
@@ -372,10 +544,7 @@ mod tests {
     #[test]
     fn ordinal_cached_layer_over_wbox() {
         let pager = Pager::new(PagerConfig::with_block_size(512));
-        let mut scheme = WBoxScheme::new(
-            pager,
-            WBoxConfig::small_for_tests().with_ordinal(),
-        );
+        let mut scheme = WBoxScheme::new(pager, WBoxConfig::small_for_tests().with_ordinal());
         let lids = scheme.bulk_load_document(&(0..400).map(|i| i ^ 1).collect::<Vec<_>>());
         let mut cached = CachedOrdinal::new(scheme, 8);
         let probe = lids[200];

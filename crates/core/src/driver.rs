@@ -105,8 +105,7 @@ impl<S: LabelingScheme> DocumentDriver<S> {
                 let index_of: std::collections::HashMap<_, _> =
                     order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
                 let base = self.elems.len();
-                self.elems
-                    .extend(std::iter::repeat_n(None, order.len()));
+                self.elems.extend(std::iter::repeat_n(None, order.len()));
                 let mut starts = vec![Lid::INVALID; order.len()];
                 for (i, tag) in seq.iter().enumerate() {
                     let e = index_of[&tag.element];
@@ -178,7 +177,9 @@ mod tests {
     use super::*;
     use crate::scheme::{BBoxScheme, NaiveScheme, WBoxScheme};
     use boxes_xml::generate::xmark;
-    use boxes_xml::workload::{concentrated, concentrated_bulk, insert_delete_churn_with_prefill, scattered};
+    use boxes_xml::workload::{
+        concentrated, concentrated_bulk, insert_delete_churn_with_prefill, scattered,
+    };
 
     #[test]
     fn partner_map_is_involution() {

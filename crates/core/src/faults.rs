@@ -7,57 +7,58 @@ mod tests {
     use crate::bbox::{BBox, BBoxConfig};
     use crate::pager::{Pager, PagerConfig};
     use crate::wbox::{WBox, WBoxConfig};
+    use boxes_audit::{Auditable, ViolationKind};
 
     #[test]
-    #[should_panic(expected = "corrupt")]
     fn bbox_detects_corrupted_node_kind() {
         let pager = Pager::new(PagerConfig::with_block_size(128));
         let mut b = BBox::new(pager.clone(), BBoxConfig::from_block_size(128));
-        let lids = b.bulk_load(50);
-        // Flip the node-kind byte of some block the next lookup will read.
-        let block = {
-            // The LIDF points at the leaf; smash the leaf.
-            let victim = pager.read(crate::pager::BlockId(0));
-            let mut buf = victim.clone();
-            buf[0] = 0xEE;
-            pager.write(crate::pager::BlockId(0), &buf);
-            lids[0]
-        };
-        // Some structure block is now garbage; a full-tree walk must hit it.
-        let _ = b.iter_lids();
-        let _ = b.lookup(block);
+        let _lids = b.bulk_load(50);
+        // Flip the node-kind byte of a structure block behind the tree's
+        // back; the audit must *report* the damage as a typed violation —
+        // it must not panic, and not come back clean.
+        let victim = crate::pager::BlockId(0);
+        let mut buf = pager.read(victim);
+        buf[0] = 0xEE;
+        pager.write(victim, &buf);
+        let report = b.audit();
+        assert!(
+            report.has(ViolationKind::CorruptNode),
+            "expected a CorruptNode violation, got:\n{report}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "not in this W-BOX leaf")]
     fn wbox_detects_dangling_lidf_pointer() {
         let pager = Pager::new(PagerConfig::with_block_size(512));
         let mut w = WBox::new(pager.clone(), WBoxConfig::small_for_tests());
         let lids = w.bulk_load(50);
-        // Simulate a torn LIDF update: point a record at the wrong leaf.
-        // (Reach in through a second W-BOX handle sharing the pager.)
-        let other_leaf = {
-            // Label 0 and label 45 live in different leaves (cap 7).
-            w.lookup(lids[45]); // ensure it exists
-            let via = w.leaf_extent(lids[45]);
-            let _ = via;
-            // Overwrite lids[0]'s LIDF record with lids[45]'s block by
-            // copying the raw LIDF slot bytes. Allocation order: block 0 is
-            // the pre-bulk root (freed), blocks 1–8 the eight leaves of 50
-            // records at capacity 7, block 9 the first LIDF block.
-            let lidf_block = crate::pager::BlockId(9);
-            let buf = pager.read(lidf_block);
-            let mut buf2 = buf.clone();
-            // slot size = 9 (tag + 8B payload); copy slot 45's payload into
-            // slot 0's payload.
-            let (a, b) = (45usize, 0usize);
-            for i in 0..8 {
-                buf2[b * 9 + 1 + i] = buf[a * 9 + 1 + i];
-            }
-            pager.write(lidf_block, &buf2);
-            lids[0]
-        };
-        let _ = w.lookup(other_leaf);
+        // Simulate a torn LIDF update: point lids[0]'s record at lids[45]'s
+        // leaf by copying the raw LIDF slot bytes. Allocation order: block 0
+        // is the pre-bulk root (freed), blocks 1–8 the eight leaves of 50
+        // records at capacity 7, block 9 the first LIDF block.
+        assert_ne!(
+            w.lookup(lids[0]) / 7,
+            w.lookup(lids[45]) / 7,
+            "test premise: the two lids live in different leaves"
+        );
+        let lidf_block = crate::pager::BlockId(9);
+        let buf = pager.read(lidf_block);
+        let mut buf2 = buf.clone();
+        // slot size = 9 (tag + 8B payload); copy slot 45's payload into
+        // slot 0's payload.
+        let (a, b) = (45usize, 0usize);
+        for i in 0..8 {
+            buf2[b * 9 + 1 + i] = buf[a * 9 + 1 + i];
+        }
+        pager.write(lidf_block, &buf2);
+        // The audit reports the mismatch as a typed violation (the leaf
+        // holding lids[0] no longer agrees with the LIDF), without panicking.
+        let report = w.audit();
+        assert!(
+            report.has(ViolationKind::LidfMismatch),
+            "expected a LidfMismatch violation, got:\n{report}"
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # BOXes — order-based labeling for dynamic XML data
 //!
@@ -56,9 +57,7 @@ pub mod scheme;
 pub use cached::{CachedBBox, CachedOrdinal, CachedWBox};
 pub use driver::DocumentDriver;
 pub use labeler::ElementLabeler;
-pub use scheme::{
-    BBoxScheme, LabelingScheme, NaiveScheme, OrdinalScheme, WBoxScheme,
-};
+pub use scheme::{BBoxScheme, LabelingScheme, NaiveScheme, OrdinalScheme, WBoxScheme};
 
 // Re-export the whole workspace under one roof.
 pub use boxes_bbox as bbox;

@@ -64,6 +64,10 @@ pub trait LabelingScheme {
 pub trait OrdinalScheme: LabelingScheme {
     /// The exact ordinal position of the tag in the document (0-based).
     fn ordinal_of(&self, lid: Lid) -> u64;
+
+    /// Whether `lid` currently names a live label (audit support: lets the
+    /// §6 replay check skip deleted anchors without panicking).
+    fn is_live(&self, lid: Lid) -> bool;
 }
 
 // ---------------------------------------------------------------------------
@@ -170,6 +174,16 @@ impl OrdinalScheme for WBoxScheme {
     fn ordinal_of(&self, lid: Lid) -> u64 {
         self.inner.ordinal_of(lid)
     }
+
+    fn is_live(&self, lid: Lid) -> bool {
+        self.inner.is_live(lid)
+    }
+}
+
+impl boxes_audit::Auditable for WBoxScheme {
+    fn audit(&self) -> boxes_audit::AuditReport {
+        boxes_audit::Auditable::audit(&self.inner)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +280,16 @@ impl LabelingScheme for BBoxScheme {
 impl OrdinalScheme for BBoxScheme {
     fn ordinal_of(&self, lid: Lid) -> u64 {
         self.inner.ordinal_of(lid)
+    }
+
+    fn is_live(&self, lid: Lid) -> bool {
+        self.inner.is_live(lid)
+    }
+}
+
+impl boxes_audit::Auditable for BBoxScheme {
+    fn audit(&self) -> boxes_audit::AuditReport {
+        boxes_audit::Auditable::audit(&self.inner)
     }
 }
 

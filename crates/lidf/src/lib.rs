@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! The Immutable Label ID File (LIDF) — §3 of the paper.
 //!
@@ -138,10 +139,7 @@ impl<R: Record> Lidf<R> {
              store an 8-byte free-chain pointer in the payload"
         );
         let recs_per_block = pager.block_size() / Self::SLOT_SIZE;
-        assert!(
-            recs_per_block >= 2,
-            "block size too small for LIDF records"
-        );
+        assert!(recs_per_block >= 2, "block size too small for LIDF records");
         Self {
             pager,
             blocks: Vec::new(),
@@ -471,6 +469,125 @@ impl<R: Record> Lidf<R> {
     /// Shared pager handle.
     pub fn pager(&self) -> &SharedPager {
         &self.pager
+    }
+}
+
+impl<R: Record> boxes_audit::Auditable for Lidf<R> {
+    /// Audit slot liveness and free-list discipline: every slot carries a
+    /// valid tag, live tags agree with the live counter, the free chain
+    /// reaches exactly the free-tagged slots (no dangling links, cycles, or
+    /// orphans), and the block directory only names allocated blocks.
+    fn audit(&self) -> boxes_audit::AuditReport {
+        use boxes_audit::{Violation, ViolationKind};
+        let mut report = boxes_audit::AuditReport::new();
+        // One pass over the directory: collect each block's bytes so the
+        // per-slot checks below never trip the pager's unallocated-read
+        // panic even when the directory itself is corrupt.
+        let mut bufs: Vec<Option<Box<[u8]>>> = Vec::with_capacity(self.blocks.len());
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            if self.pager.is_allocated(block) {
+                bufs.push(Some(self.pager.read(block)));
+            } else {
+                report.push(
+                    Violation::new(ViolationKind::LidfMismatch, format!("lidf/dir[{bi}]"))
+                        .at_block(block.0)
+                        .expected("directory entry names an allocated block")
+                        .actual("block is unallocated"),
+                );
+                bufs.push(None);
+            }
+        }
+        let tag_of = |slot: u64| -> Option<u8> {
+            let buf = bufs
+                .get((slot / self.recs_per_block as u64) as usize)?
+                .as_ref()?;
+            let offset = (slot % self.recs_per_block as u64) as usize * Self::SLOT_SIZE;
+            Some(Reader::at(buf, offset).u8())
+        };
+        let mut live_tags = 0u64;
+        for slot in 0..self.slots {
+            match tag_of(slot) {
+                Some(TAG_LIVE) => live_tags += 1,
+                Some(TAG_FREE) | None => {}
+                Some(tag) => report.push(
+                    Violation::new(ViolationKind::SlotLiveness, format!("lidf/slot[{slot}]"))
+                        .expected(format!("tag {TAG_FREE} (free) or {TAG_LIVE} (live)"))
+                        .actual(tag),
+                ),
+            }
+        }
+        if live_tags != self.live {
+            report.push(
+                Violation::new(ViolationKind::CountMismatch, "lidf")
+                    .expected(format!(
+                        "{} live-tagged slots (the live counter)",
+                        self.live
+                    ))
+                    .actual(live_tags),
+            );
+        }
+        // Walk the free chain: bounded by the slot count, so a cycle or a
+        // link into space is detected rather than looped on.
+        let mut on_chain = std::collections::HashSet::new();
+        let mut cur = self.free_head;
+        while cur != FREE_END {
+            if cur >= self.slots {
+                report.push(
+                    Violation::new(ViolationKind::FreeChain, format!("lidf/free-chain@{cur}"))
+                        .expected(format!("link < {} or end sentinel", self.slots))
+                        .actual(cur),
+                );
+                break;
+            }
+            if !on_chain.insert(cur) {
+                report.push(
+                    Violation::new(ViolationKind::FreeChain, format!("lidf/free-chain@{cur}"))
+                        .expected("acyclic chain")
+                        .actual("slot revisited (cycle)"),
+                );
+                break;
+            }
+            match tag_of(cur) {
+                Some(TAG_FREE) => {}
+                None => break, // directory hole already reported above
+                Some(tag) => {
+                    report.push(
+                        Violation::new(ViolationKind::SlotLiveness, format!("lidf/slot[{cur}]"))
+                            .expected(format!("free-chain slot tagged {TAG_FREE}"))
+                            .actual(format!("tag {tag}")),
+                    );
+                    break;
+                }
+            }
+            let buf = bufs[(cur / self.recs_per_block as u64) as usize]
+                .as_ref()
+                .expect("tag_of returned Some");
+            let offset = (cur % self.recs_per_block as u64) as usize * Self::SLOT_SIZE;
+            cur = Reader::at(buf, offset + 1).u64();
+        }
+        // Free-tagged slots unreachable from the chain are leaked: they can
+        // never be recycled. (Skip when the walk aborted early — everything
+        // past the break would be a false orphan.)
+        if cur == FREE_END {
+            for slot in 0..self.slots {
+                if tag_of(slot) == Some(TAG_FREE) && !on_chain.contains(&slot) {
+                    report.push(
+                        Violation::new(ViolationKind::FreeChain, format!("lidf/slot[{slot}]"))
+                            .expected("every free slot reachable from the chain")
+                            .actual("orphaned free slot"),
+                    );
+                }
+            }
+            let expected_free = self.slots - self.live;
+            if on_chain.len() as u64 != expected_free {
+                report.push(
+                    Violation::new(ViolationKind::FreeChain, "lidf/free-chain")
+                        .expected(format!("{expected_free} slots (slots − live)"))
+                        .actual(on_chain.len()),
+                );
+            }
+        }
+        report
     }
 }
 

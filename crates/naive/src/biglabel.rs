@@ -22,7 +22,7 @@ impl PartialOrd for BigLabel {
     }
 }
 
-#[allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+#[allow(clippy::should_implement_trait)]
 impl BigLabel {
     /// The value 0.
     pub const ZERO: BigLabel = BigLabel([0; 5]);
@@ -47,10 +47,10 @@ impl BigLabel {
     pub fn add(self, rhs: BigLabel) -> BigLabel {
         let mut out = [0u64; 5];
         let mut carry = 0u64;
-        for i in 0..5 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         assert_eq!(carry, 0, "BigLabel overflow");
@@ -61,10 +61,10 @@ impl BigLabel {
     pub fn sub(self, rhs: BigLabel) -> BigLabel {
         let mut out = [0u64; 5];
         let mut borrow = 0u64;
-        for i in 0..5 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         assert_eq!(borrow, 0, "BigLabel underflow");
@@ -86,9 +86,9 @@ impl BigLabel {
     pub fn mul_u64(self, rhs: u64) -> BigLabel {
         let mut out = [0u64; 5];
         let mut carry = 0u128;
-        for i in 0..5 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let prod = self.0[i] as u128 * rhs as u128 + carry;
-            out[i] = prod as u64;
+            *limb = prod as u64;
             carry = prod >> 64;
         }
         assert_eq!(carry, 0, "BigLabel overflow");

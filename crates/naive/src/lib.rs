@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! The naive-k gap-relabeling baseline (§1, §2, §7 of the paper).
 //!
@@ -373,10 +374,7 @@ mod tests {
         let mut s = scheme(3);
         let lids = s.bulk_load(5);
         let labels: Vec<BigLabel> = lids.iter().map(|&l| s.lookup(l)).collect();
-        assert_eq!(
-            labels,
-            vec![lbl(8), lbl(16), lbl(24), lbl(32), lbl(40)]
-        );
+        assert_eq!(labels, vec![lbl(8), lbl(16), lbl(24), lbl(32), lbl(40)]);
         assert_eq!(s.label_bits(), 6);
     }
 

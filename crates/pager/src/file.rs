@@ -88,9 +88,7 @@ impl FileStore {
     pub fn write(&mut self, idx: usize, data: &[u8]) {
         assert!(self.is_allocated(idx), "write to unallocated block {idx}");
         self.seek_to(idx);
-        self.file
-            .write_all(data)
-            .expect("pager file write failed");
+        self.file.write_all(data).expect("pager file write failed");
     }
 }
 
@@ -108,9 +106,7 @@ mod tests {
     fn file_backend_roundtrips() {
         let path = temp_path("roundtrip");
         {
-            let pager = Pager::new(
-                PagerConfig::with_block_size(128).backed_by_file(&path),
-            );
+            let pager = Pager::new(PagerConfig::with_block_size(128).backed_by_file(&path));
             let a = pager.alloc();
             let b = pager.alloc();
             pager.write(a, &[7u8; 128]);
@@ -133,9 +129,7 @@ mod tests {
         // writing interleaved patterns across many blocks.
         let path = temp_path("many");
         {
-            let pager = Pager::new(
-                PagerConfig::with_block_size(64).backed_by_file(&path),
-            );
+            let pager = Pager::new(PagerConfig::with_block_size(64).backed_by_file(&path));
             let ids: Vec<_> = (0..100).map(|_| pager.alloc()).collect();
             for (i, &id) in ids.iter().enumerate() {
                 pager.write(id, &[i as u8; 64]);
@@ -151,9 +145,7 @@ mod tests {
     #[should_panic(expected = "unallocated")]
     fn file_backend_rejects_stale_reads() {
         let path = temp_path("stale");
-        let pager = Pager::new(
-            PagerConfig::with_block_size(64).backed_by_file(&path),
-        );
+        let pager = Pager::new(PagerConfig::with_block_size(64).backed_by_file(&path));
         let a = pager.alloc();
         pager.free(a);
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Simulated block device with I/O accounting — the storage substrate for the
 //! BOXes reproduction.
@@ -142,18 +143,14 @@ impl Backend {
 
     fn is_allocated(&self, id: BlockId) -> bool {
         match self {
-            Backend::Memory(blocks) => blocks
-                .get(id.0 as usize)
-                .is_some_and(|b| b.is_some()),
+            Backend::Memory(blocks) => blocks.get(id.0 as usize).is_some_and(|b| b.is_some()),
             Backend::File(f) => f.is_allocated(id.0 as usize),
         }
     }
 
     fn push_zeroed(&mut self, block_size: usize) {
         match self {
-            Backend::Memory(blocks) => {
-                blocks.push(Some(vec![0u8; block_size].into_boxed_slice()))
-            }
+            Backend::Memory(blocks) => blocks.push(Some(vec![0u8; block_size].into_boxed_slice())),
             Backend::File(f) => f.push_zeroed(),
         }
     }
@@ -308,13 +305,12 @@ impl Pager {
         );
         if inner.pool.capacity() == 0 {
             inner.stats.writes += 1;
-            inner
-                .backend
-                .write(id, data.to_vec().into_boxed_slice());
+            inner.backend.write(id, data.to_vec().into_boxed_slice());
             return;
         }
-        if let Some((evicted, dirty)) =
-            inner.pool.insert_dirty(id, data.to_vec().into_boxed_slice())
+        if let Some((evicted, dirty)) = inner
+            .pool
+            .insert_dirty(id, data.to_vec().into_boxed_slice())
         {
             Self::write_back(&mut inner, evicted, dirty);
         }
@@ -363,9 +359,75 @@ impl Pager {
         self.inner.borrow().backend.allocated_count()
     }
 
+    /// Whether `id` names a currently allocated block. No I/O is charged:
+    /// this inspects allocation metadata, not block contents. Auditors use
+    /// it to classify dangling pointers without tripping the read panic.
+    pub fn is_allocated(&self, id: BlockId) -> bool {
+        !id.is_invalid() && self.inner.borrow().backend.is_allocated(id)
+    }
+
     /// Total bytes currently allocated.
     pub fn allocated_bytes(&self) -> usize {
         self.allocated_blocks() * self.block_size
+    }
+}
+
+impl boxes_audit::Auditable for Pager {
+    /// Audit the allocator's bookkeeping: the free list must exactly cover
+    /// the deallocated holes in the file (no duplicates, no overlap with
+    /// allocated blocks) and the buffer pool must only cache live blocks —
+    /// the single-threaded analog of a pin-count leak check.
+    fn audit(&self) -> boxes_audit::AuditReport {
+        use boxes_audit::{Violation, ViolationKind};
+        let inner = self.inner.borrow();
+        let mut report = boxes_audit::AuditReport::new();
+        let len = inner.backend.len();
+        let mut seen = std::collections::HashSet::new();
+        for (i, &id) in inner.free.iter().enumerate() {
+            let path = format!("pager/free[{i}]");
+            if id as usize >= len {
+                report.push(
+                    Violation::new(ViolationKind::FreeListOverlap, path.clone())
+                        .at_block(id)
+                        .expected(format!("block id < {len}"))
+                        .actual(id),
+                );
+            } else if inner.backend.is_allocated(BlockId(id)) {
+                report.push(
+                    Violation::new(ViolationKind::FreeListOverlap, path.clone())
+                        .at_block(id)
+                        .expected("deallocated block")
+                        .actual("still allocated in the backend"),
+                );
+            }
+            if !seen.insert(id) {
+                report.push(
+                    Violation::new(ViolationKind::FreeListDuplicate, path)
+                        .at_block(id)
+                        .expected("each freed block listed once")
+                        .actual("listed again"),
+                );
+            }
+        }
+        let holes = len - inner.backend.allocated_count();
+        if holes != inner.free.len() {
+            report.push(
+                Violation::new(ViolationKind::CountMismatch, "pager/free")
+                    .expected(format!("{holes} entries (one per deallocated block)"))
+                    .actual(inner.free.len()),
+            );
+        }
+        for id in inner.pool.frame_ids() {
+            if !inner.backend.is_allocated(id) {
+                report.push(
+                    Violation::new(ViolationKind::PoolLeak, "pager/pool")
+                        .at_block(id.0)
+                        .expected("pool frames only for allocated blocks")
+                        .actual("frame caches a freed block"),
+                );
+            }
+        }
+        report
     }
 }
 

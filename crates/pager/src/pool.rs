@@ -80,21 +80,13 @@ impl BufferPool {
 
     /// Insert a block just read from disk. Returns an evicted dirty block
     /// `(id, data)` that the caller must write back, if any.
-    pub fn insert_clean(
-        &mut self,
-        id: BlockId,
-        data: Box<[u8]>,
-    ) -> Option<(BlockId, Box<[u8]>)> {
+    pub fn insert_clean(&mut self, id: BlockId, data: Box<[u8]>) -> Option<(BlockId, Box<[u8]>)> {
         self.insert(id, data, false)
     }
 
     /// Insert a freshly written block. Returns an evicted dirty block the
     /// caller must write back, if any. Never called with capacity 0.
-    pub fn insert_dirty(
-        &mut self,
-        id: BlockId,
-        data: Box<[u8]>,
-    ) -> Option<(BlockId, Box<[u8]>)> {
+    pub fn insert_dirty(&mut self, id: BlockId, data: Box<[u8]>) -> Option<(BlockId, Box<[u8]>)> {
         self.insert(id, data, true)
     }
 
@@ -136,6 +128,11 @@ impl BufferPool {
     /// Drop any cached copy of `id` without write-back (block was freed).
     pub fn discard(&mut self, id: BlockId) {
         self.frames.remove(&id);
+    }
+
+    /// Ids of every resident frame (audit support).
+    pub fn frame_ids(&self) -> Vec<BlockId> {
+        self.frames.keys().copied().collect()
     }
 
     /// Remove and return all dirty frames for write-back.

@@ -253,7 +253,6 @@ impl WBox {
 
     /// Assign label ranges top-down over a finished pyramid and write every
     /// node exactly once (pair fields are refreshed on the way).
-    #[allow(clippy::needless_range_loop)]
     fn write_pyramid(
         &mut self,
         mut pyramid: Vec<Vec<(BlockId, WNode)>>,
@@ -275,8 +274,8 @@ impl WBox {
             }
         }
         // Write internal levels.
-        for level in 1..=top_level {
-            for (block, node) in &pyramid[level] {
+        for nodes in pyramid.iter().take(top_level + 1).skip(1) {
+            for (block, node) in nodes {
                 self.write_node(*block, node);
             }
         }
@@ -411,11 +410,7 @@ pub(crate) fn leaf_chunk_sizes(total: usize, cap: usize, min_excl: u64) -> Vec<u
 }
 
 /// Chunk concrete records into fresh leaf units.
-pub(crate) fn chunk_records(
-    records: Vec<LeafRecord>,
-    cap: usize,
-    min_excl: u64,
-) -> Vec<LeafUnit> {
+pub(crate) fn chunk_records(records: Vec<LeafRecord>, cap: usize, min_excl: u64) -> Vec<LeafUnit> {
     let sizes = leaf_chunk_sizes(records.len(), cap, min_excl);
     let mut units = Vec::with_capacity(sizes.len());
     let mut iter = records.into_iter();

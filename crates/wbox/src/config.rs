@@ -115,7 +115,10 @@ impl WBoxConfig {
 
     /// Check the parameter relationships §4 requires.
     pub fn validate(&self) {
-        assert!(self.a >= 6, "branching parameter a must be ≥ 6 (paper: a > 6 for split safety)");
+        assert!(
+            self.a >= 6,
+            "branching parameter a must be ≥ 6 (paper: a > 6 for split safety)"
+        );
         assert!(self.k >= 2, "leaf parameter k must be ≥ 2");
         // Lemma 4.1: maximum fan-out must fit in b.
         let max_fanout = 2 * self.a + 3 + (8usize).div_ceil(self.a - 2);
@@ -152,7 +155,10 @@ mod tests {
     #[test]
     fn derives_paper_parameters_from_block_size() {
         let c = WBoxConfig::from_block_size(8192);
-        assert_eq!(c.b, (8192 - crate::node::INTERNAL_HEADER) / crate::node::INTERNAL_ENTRY);
+        assert_eq!(
+            c.b,
+            (8192 - crate::node::INTERNAL_HEADER) / crate::node::INTERNAL_ENTRY
+        );
         assert_eq!(c.a, c.b / 2 - 2);
         assert!(c.leaf_capacity() % 2 == 1, "2k−1 is odd");
         c.validate();

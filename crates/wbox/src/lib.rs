@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! W-BOX: the Weight-balanced B-tree for Ordering XML (§4 of the paper).
 //!
@@ -42,6 +43,7 @@
 //! assert!(wbox.lookup(new) < wbox.lookup(lids[50]));
 //! ```
 
+mod audit;
 mod build;
 mod config;
 mod node;

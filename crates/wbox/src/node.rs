@@ -213,12 +213,44 @@ impl WNode {
     }
 
     /// Deserialize from a block buffer.
+    ///
+    /// # Panics
+    /// Panics on bytes that do not decode as a node; auditors use
+    /// [`WNode::try_decode`] instead.
     pub fn decode(buf: &[u8], pair: bool) -> Self {
+        match Self::try_decode(buf, pair) {
+            Ok(node) => node,
+            Err(e) => panic!("corrupt W-BOX node: {e}"),
+        }
+    }
+
+    /// Deserialize from a block buffer without panicking: structural
+    /// problems (unknown kind byte, an entry count that overruns the block)
+    /// come back as a description instead.
+    pub fn try_decode(buf: &[u8], pair: bool) -> Result<Self, String> {
+        if buf.len() < INTERNAL_HEADER {
+            return Err(format!(
+                "{}-byte block is smaller than a node header",
+                buf.len()
+            ));
+        }
         let mut r = Reader::new(buf);
         let kind = r.u8();
         let count = r.u16() as usize;
         match kind {
             KIND_LEAF => {
+                let entry = if pair {
+                    LEAF_ENTRY_PAIR
+                } else {
+                    LEAF_ENTRY_PLAIN
+                };
+                let need = LEAF_HEADER + count * entry;
+                if need > buf.len() {
+                    return Err(format!(
+                        "leaf record count {count} needs {need} bytes, block has {}",
+                        buf.len()
+                    ));
+                }
                 let tombstones = r.u16();
                 let range_lo = r.u64();
                 let recs = (0..count)
@@ -237,13 +269,20 @@ impl WNode {
                         }
                     })
                     .collect();
-                WNode::Leaf {
+                Ok(WNode::Leaf {
                     range_lo,
                     tombstones,
                     recs,
-                }
+                })
             }
             KIND_INTERNAL => {
+                let need = INTERNAL_HEADER + count * INTERNAL_ENTRY;
+                if need > buf.len() {
+                    return Err(format!(
+                        "internal entry count {count} needs {need} bytes, block has {}",
+                        buf.len()
+                    ));
+                }
                 let entries = (0..count)
                     .map(|_| WEntry {
                         child: BlockId(r.u32()),
@@ -252,9 +291,9 @@ impl WNode {
                         size: r.u64(),
                     })
                     .collect();
-                WNode::Internal { entries }
+                Ok(WNode::Internal { entries })
             }
-            k => panic!("corrupt W-BOX node: kind {k}"),
+            k => Err(format!("kind {k}")),
         }
     }
 }

@@ -212,35 +212,6 @@ impl WBox {
             }
         }
     }
-
-    /// Validate every pair linkage and cached end label (test support).
-    pub(crate) fn validate_pairs(&self) {
-        let lids = self.iter_lids();
-        for lid in lids {
-            let block = self.lidf_ref().read(lid).block;
-            let node = self.read_node(block);
-            let pos = node.position_of_lid(lid);
-            let r = node.recs()[pos];
-            if r.partner_lid == Lid::INVALID {
-                continue;
-            }
-            let pblock = self.lidf_ref().read(r.partner_lid).block;
-            assert_eq!(r.partner, pblock, "stale partner block on {lid:?}");
-            let pnode = self.read_node(pblock);
-            let ppos = pnode.position_of_lid(r.partner_lid);
-            let p = pnode.recs()[ppos];
-            assert_eq!(p.partner_lid, lid, "partner linkage not mutual");
-            assert_eq!(p.is_start, !r.is_start, "pair flags inconsistent");
-            if r.is_start {
-                let end_label = pnode.range_lo() + ppos as u64;
-                assert_eq!(
-                    r.end_cache, end_label,
-                    "stale end cache on {lid:?}: cached {} actual {}",
-                    r.end_cache, end_label
-                );
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -252,7 +223,10 @@ mod tests {
 
     fn make() -> WBox {
         let pager = Pager::new(PagerConfig::with_block_size(512));
-        WBox::new(pager, WBoxConfig::small_for_tests().with_pair_optimization())
+        WBox::new(
+            pager,
+            WBoxConfig::small_for_tests().with_pair_optimization(),
+        )
     }
 
     /// partner map for a flat document: root element wraps n children:
@@ -275,8 +249,8 @@ mod tests {
         let mut w = make();
         let lids = w.bulk_load_pairs(&flat_partner_map(200));
         assert_eq!(w.len(), 402);
-        w.validate(); // includes validate_pairs
-        // Root pair lookup: both labels in two I/Os.
+        w.validate(); // includes the pair-linkage audit
+                      // Root pair lookup: both labels in two I/Os.
         let pager = w.pager().clone();
         let before = pager.stats();
         let (s, e) = w.pair_lookup(lids[0]);

@@ -34,7 +34,6 @@ impl WBox {
         self.insert_subtree_impl(lid_old, partner_of.len(), Some(partner_of))
     }
 
-    #[allow(clippy::needless_range_loop)]
     fn insert_subtree_impl(
         &mut self,
         lid_old: Lid,
@@ -93,10 +92,8 @@ impl WBox {
         // by the rebuild's repoint pass).
         let placeholders = vec![BlockPtrRecord::new(BlockId::INVALID); n_tags];
         let new_lids = self.lidf().bulk_append(&placeholders);
-        let mut new_recs: Vec<LeafRecord> = new_lids
-            .iter()
-            .map(|&l| LeafRecord::plain(l))
-            .collect();
+        let mut new_recs: Vec<LeafRecord> =
+            new_lids.iter().map(|&l| LeafRecord::plain(l)).collect();
         if let Some(p) = partner_of {
             for (i, r) in new_recs.iter_mut().enumerate() {
                 r.is_start = i < p[i];
@@ -109,43 +106,48 @@ impl WBox {
         // allocates replacements).
         let mut units: Vec<LeafUnit> = Vec::new();
         let mut internal_to_free: Vec<BlockId> = Vec::new();
-        self.collect_units(v_id, v_id, &mut |this, id, node| {
-            if id != u_id {
-                units.push(keep_unit(id, node));
-                return;
-            }
-            let pos = node.position_of_lid(lid_old);
-            let (range_lo, tombstones, recs) = explode_leaf(node);
-            let _ = range_lo;
-            let mut prefix = recs;
-            let suffix = prefix.split_off(pos);
-            if !prefix.is_empty() {
-                units.push(LeafUnit {
-                    block: Some(id),
-                    tombstones,
-                    recs: prefix,
-                });
-            } else if tombstones > 0 {
-                // Keep the tombstone weight attached to the first new unit.
-                units.push(LeafUnit {
-                    block: Some(id),
-                    tombstones,
-                    recs: Vec::new(),
-                });
-            } else {
-                this.pager().free(id);
-            }
-            for unit in chunk_records(
-                std::mem::take(&mut new_recs),
-                this.config().leaf_capacity(),
-                this.config().min_weight(0),
-            ) {
-                units.push(unit);
-            }
-            if !suffix.is_empty() {
-                units.push(LeafUnit::fresh(suffix));
-            }
-        }, &mut internal_to_free);
+        self.collect_units(
+            v_id,
+            v_id,
+            &mut |this, id, node| {
+                if id != u_id {
+                    units.push(keep_unit(id, node));
+                    return;
+                }
+                let pos = node.position_of_lid(lid_old);
+                let (range_lo, tombstones, recs) = explode_leaf(node);
+                let _ = range_lo;
+                let mut prefix = recs;
+                let suffix = prefix.split_off(pos);
+                if !prefix.is_empty() {
+                    units.push(LeafUnit {
+                        block: Some(id),
+                        tombstones,
+                        recs: prefix,
+                    });
+                } else if tombstones > 0 {
+                    // Keep the tombstone weight attached to the first new unit.
+                    units.push(LeafUnit {
+                        block: Some(id),
+                        tombstones,
+                        recs: Vec::new(),
+                    });
+                } else {
+                    this.pager().free(id);
+                }
+                for unit in chunk_records(
+                    std::mem::take(&mut new_recs),
+                    this.config().leaf_capacity(),
+                    this.config().min_weight(0),
+                ) {
+                    units.push(unit);
+                }
+                if !suffix.is_empty() {
+                    units.push(LeafUnit::fresh(suffix));
+                }
+            },
+            &mut internal_to_free,
+        );
         for id in internal_to_free {
             self.pager().free(id);
         }
@@ -164,12 +166,12 @@ impl WBox {
         self.add_live(n_tags as i64);
 
         // Ancestors above v absorb the added weight.
-        for j in 0..v_idx {
-            let mut step_node = path[j].node.clone();
-            let e = &mut step_node.entries_mut()[path[j].child_pos];
+        for step in path.iter().take(v_idx) {
+            let mut step_node = step.node.clone();
+            let e = &mut step_node.entries_mut()[step.child_pos];
             e.weight += n_tags as u64;
             e.size += n_tags as u64;
-            self.write_node(path[j].id, &step_node);
+            self.write_node(step.id, &step_node);
         }
         new_lids
     }
@@ -181,7 +183,6 @@ impl WBox {
 
     /// Delete every label in the inclusive range spanned by `start_lid`
     /// and `end_lid`, reclaiming blocks and LIDF records.
-    #[allow(clippy::needless_range_loop)]
     pub fn delete_subtree(&mut self, start_lid: Lid, end_lid: Lid) {
         let l_s = self.lookup(start_lid);
         let l_e = self.lookup(end_lid);
@@ -200,8 +201,7 @@ impl WBox {
 
         // Count what the range removes (live records and tombstones of
         // fully covered leaves) with one walk below the LCA.
-        let (live_deleted, weight_removed) =
-            self.count_range(path[lca_idx].id, l_s, l_e);
+        let (live_deleted, weight_removed) = self.count_range(path[lca_idx].id, l_s, l_e);
 
         // Choose v: the deepest node at or above the LCA such that every
         // non-root node from v to the root keeps its minimum weight.
@@ -220,39 +220,44 @@ impl WBox {
         let mut units: Vec<LeafUnit> = Vec::new();
         let mut doomed_lids: Vec<Lid> = Vec::new();
         let mut internal_to_free: Vec<BlockId> = Vec::new();
-        self.collect_units(v_id, v_id, &mut |this, id, node| {
-            let lo = node.range_lo();
-            let n = node.recs().len() as u64;
-            if lo > l_e || lo + n <= l_s || n == 0 {
-                units.push(keep_unit(id, node));
-                return;
-            }
-            let (_, tombstones, recs) = explode_leaf(node);
-            let survivors: Vec<LeafRecord> = recs
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| {
-                    let label = lo + i as u64;
-                    if label >= l_s && label <= l_e {
-                        doomed_lids.push(r.lid);
-                        None
-                    } else {
-                        Some(*r)
-                    }
-                })
-                .collect();
-            if survivors.is_empty() {
-                // Fully covered: the leaf goes away, tombstones included —
-                // `count_range` charges their weight to the ancestors.
-                this.pager().free(id);
-            } else {
-                units.push(LeafUnit {
-                    block: Some(id),
-                    tombstones,
-                    recs: survivors,
-                });
-            }
-        }, &mut internal_to_free);
+        self.collect_units(
+            v_id,
+            v_id,
+            &mut |this, id, node| {
+                let lo = node.range_lo();
+                let n = node.recs().len() as u64;
+                if lo > l_e || lo + n <= l_s || n == 0 {
+                    units.push(keep_unit(id, node));
+                    return;
+                }
+                let (_, tombstones, recs) = explode_leaf(node);
+                let survivors: Vec<LeafRecord> = recs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| {
+                        let label = lo + i as u64;
+                        if label >= l_s && label <= l_e {
+                            doomed_lids.push(r.lid);
+                            None
+                        } else {
+                            Some(*r)
+                        }
+                    })
+                    .collect();
+                if survivors.is_empty() {
+                    // Fully covered: the leaf goes away, tombstones included —
+                    // `count_range` charges their weight to the ancestors.
+                    this.pager().free(id);
+                } else {
+                    units.push(LeafUnit {
+                        block: Some(id),
+                        tombstones,
+                        recs: survivors,
+                    });
+                }
+            },
+            &mut internal_to_free,
+        );
         for id in internal_to_free {
             self.pager().free(id);
         }
@@ -293,12 +298,12 @@ impl WBox {
             return;
         }
         self.build_at_level(units, v_level, v_id, v_lo);
-        for j in 0..v_idx {
-            let mut step_node = path[j].node.clone();
-            let e = &mut step_node.entries_mut()[path[j].child_pos];
+        for step in path.iter().take(v_idx) {
+            let mut step_node = step.node.clone();
+            let e = &mut step_node.entries_mut()[step.child_pos];
             e.weight -= weight_removed;
             e.size -= live_deleted;
-            self.write_node(path[j].id, &step_node);
+            self.write_node(step.id, &step_node);
         }
     }
 

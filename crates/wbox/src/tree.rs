@@ -133,6 +133,16 @@ impl WBox {
         &self.pager
     }
 
+    /// Whether `lid` currently names a live label (one LIDF slot read).
+    pub fn is_live(&self, lid: Lid) -> bool {
+        self.lidf.is_live(lid)
+    }
+
+    /// Live count at the last (re)build — the N of the N/2 deletion rule.
+    pub(crate) fn live_at_rebuild(&self) -> u64 {
+        self.live_at_rebuild
+    }
+
     pub(crate) fn lidf(&mut self) -> &mut Lidf<BlockPtrRecord> {
         &mut self.lidf
     }
@@ -282,7 +292,10 @@ impl WBox {
 
     /// Insert the very first label into an empty W-BOX.
     pub fn insert_first(&mut self) -> Lid {
-        assert!(self.is_empty() && self.height == 1, "insert_first on a non-empty W-BOX");
+        assert!(
+            self.is_empty() && self.height == 1,
+            "insert_first on a non-empty W-BOX"
+        );
         let lid = self.lidf.alloc(BlockPtrRecord::new(self.root));
         let mut node = self.read_node(self.root);
         node.recs_mut().push(LeafRecord::plain(lid));
@@ -448,10 +461,11 @@ impl WBox {
                         recs: recs[..m].to_vec(),
                     },
                     WNode::Leaf {
-                        // The part that keeps the victim's block also keeps
-                        // the victim's range start; the moved part is
-                        // relabeled to its new subrange either way.
-                        range_lo: *range_lo,
+                        // The right half's records currently sit at labels
+                        // range_lo + m .. — record that base so every write
+                        // of this node stays label-accurate and the later
+                        // relabel can tell whether labels really change.
+                        range_lo: *range_lo + m as u64,
                         tombstones: 0,
                         recs: recs[m..].to_vec(),
                     },
@@ -482,7 +496,8 @@ impl WBox {
         let parent_id = parent.id;
         let mut pnode = parent.node.clone();
         let has_sub = |p: &WNode, s: i64| -> bool {
-            s >= 0 && (s as u64) < self.config.b as u64
+            s >= 0
+                && (s as u64) < self.config.b as u64
                 && p.entries().iter().any(|e| e.subrange as i64 == s)
         };
         let right_free = (j as i64 + 1) < self.config.b as i64 && !has_sub(&pnode, j as i64 + 1);
@@ -508,11 +523,14 @@ impl WBox {
                 self.write_node(moved_id, &moved);
                 self.repoint_lidf(&lids, moved_id);
                 // The kept part stays in the victim's block. If it is the
-                // *right* half, its records' positions — and hence labels —
-                // shift down; pair caches must follow.
+                // *right* half, its records drop to the front of the
+                // victim's range — rebase it and refresh pair caches.
                 if moved_goes_right {
                     self.write_node(victim.id, &keep);
                 } else {
+                    if let WNode::Leaf { range_lo, .. } = &mut keep {
+                        *range_lo = victim.range_lo;
+                    }
                     self.write_leaf_after_shift(victim.id, &keep, 0);
                 }
                 // The moved part gets the adjacent subrange and relabels.
@@ -526,13 +544,33 @@ impl WBox {
             // Parent: replace the victim entry with the two halves.
             let (e1, e2) = if moved_goes_right {
                 (
-                    WEntry { child: victim.id, subrange: keep_sub, weight: kw, size: ks },
-                    WEntry { child: moved_id, subrange: moved_sub, weight: mw, size: ms },
+                    WEntry {
+                        child: victim.id,
+                        subrange: keep_sub,
+                        weight: kw,
+                        size: ks,
+                    },
+                    WEntry {
+                        child: moved_id,
+                        subrange: moved_sub,
+                        weight: mw,
+                        size: ms,
+                    },
                 )
             } else {
                 (
-                    WEntry { child: moved_id, subrange: moved_sub, weight: mw, size: ms },
-                    WEntry { child: victim.id, subrange: keep_sub, weight: kw, size: ks },
+                    WEntry {
+                        child: moved_id,
+                        subrange: moved_sub,
+                        weight: mw,
+                        size: ms,
+                    },
+                    WEntry {
+                        child: victim.id,
+                        subrange: keep_sub,
+                        weight: kw,
+                        size: ks,
+                    },
                 )
             };
             pnode.entries_mut().splice(vpos..=vpos, [e1, e2]);
@@ -562,8 +600,18 @@ impl WBox {
             pnode.entries_mut().splice(
                 vpos..=vpos,
                 [
-                    WEntry { child: victim.id, subrange: 0, weight: lw, size: ls },
-                    WEntry { child: new_id, subrange: 0, weight: rw, size: rs },
+                    WEntry {
+                        child: victim.id,
+                        subrange: 0,
+                        weight: lw,
+                        size: ls,
+                    },
+                    WEntry {
+                        child: new_id,
+                        subrange: 0,
+                        weight: rw,
+                        size: rs,
+                    },
                 ],
             );
             let c = pnode.entries().len();
@@ -676,93 +724,12 @@ impl WBox {
         }
     }
 
-    /// Exhaustively verify the §4 invariants; panics on violation. Intended
-    /// for tests (reads the whole tree).
+    /// Exhaustively verify the §4 invariants; panics on violation with the
+    /// full [`boxes_audit::AuditReport`] listing. Intended for tests (reads
+    /// the whole tree). The non-panicking form is
+    /// [`boxes_audit::Auditable::audit`].
     pub fn validate(&self) {
-        let (weight, size, _depth) =
-            self.validate_node(self.root, self.height - 1, 0, true);
-        assert_eq!(size, self.live, "live count mismatch");
-        let _ = weight;
-        // Labels strictly increase across the whole tree and LIDF pointers
-        // resolve to the right leaves.
-        let lids = self.iter_lids();
-        let mut prev: Option<u64> = None;
-        for lid in lids {
-            let label = self.lookup(lid);
-            if let Some(p) = prev {
-                assert!(p < label, "label order violated: {p} !< {label}");
-            }
-            prev = Some(label);
-        }
-        if self.config.pair {
-            self.validate_pairs();
-        }
-    }
-
-    fn validate_node(
-        &self,
-        id: BlockId,
-        level: usize,
-        range_lo: u64,
-        is_root: bool,
-    ) -> (u64, u64, usize) {
-        let node = self.read_node(id);
-        let w = node.weight();
-        assert!(
-            w < self.config.max_weight(level),
-            "weight {w} ≥ max {} at level {level}",
-            self.config.max_weight(level)
-        );
-        if !is_root {
-            assert!(
-                w > self.config.min_weight(level),
-                "weight {w} ≤ min {} at level {level}",
-                self.config.min_weight(level)
-            );
-        }
-        match &node {
-            WNode::Leaf { range_lo: lo, recs, .. } => {
-                assert_eq!(level, 0, "leaf above level 0");
-                assert_eq!(*lo, range_lo, "leaf range_lo mismatch");
-                assert!(recs.len() <= self.config.leaf_capacity());
-                for r in recs {
-                    assert_eq!(
-                        self.lidf.read(r.lid).block,
-                        id,
-                        "LIDF points {:?} at the wrong leaf",
-                        r.lid
-                    );
-                }
-                (w, recs.len() as u64, 1)
-            }
-            WNode::Internal { entries } => {
-                assert!(level >= 1, "internal node at leaf level");
-                assert!(entries.len() <= self.config.b, "fan-out overflow");
-                if is_root {
-                    assert!(entries.len() >= 2, "internal root needs ≥ 2 children");
-                }
-                let len = self.config.range_len(level - 1);
-                let mut prev_sub: Option<u16> = None;
-                let mut weight = 0;
-                let mut size = 0;
-                for e in entries {
-                    assert!((e.subrange as usize) < self.config.b, "subrange out of range");
-                    if let Some(p) = prev_sub {
-                        assert!(p < e.subrange, "subranges not increasing");
-                    }
-                    prev_sub = Some(e.subrange);
-                    let child_lo = range_lo + e.subrange as u64 * len;
-                    let (cw, cs, _) = self.validate_node(e.child, level - 1, child_lo, false);
-                    assert_eq!(cw, e.weight, "stale weight field");
-                    if self.config.ordinal {
-                        assert_eq!(cs, e.size, "stale size field");
-                    }
-                    weight += cw;
-                    size += cs;
-                }
-                (weight, size, 2)
-            }
-        }
+        boxes_audit::Auditable::audit(self).assert_clean("W-BOX");
     }
 
     /// Blocks used by the tree plus its LIDF.
@@ -1046,7 +1013,7 @@ mod tests {
         // Theorem 4.4 bound: log N + 1 + ⌈log(2+4/a)·log_a(N/k) + log b⌉
         // must stay within a 32-bit machine word for N = 2.58 million.
         let n: f64 = 2_580_000.0 * 2.0; // labels = 2 × elements? The paper
-        // counts labels directly; use N = 2.58e6 labels as stated.
+                                        // counts labels directly; use N = 2.58e6 labels as stated.
         let n = n / 2.0;
         let a = 64.0f64;
         let k = 64.0f64;
@@ -1120,12 +1087,15 @@ mod edge_tests {
         for _ in 0..300 {
             w.insert_before(last);
         }
-        assert_eq!(w.lookup(last), w.iter_lids().len() as u64 - 1 + {
-            // last's label is the largest; compute via lookup of max
-            let all = w.iter_lids();
-            let max_label = w.lookup(*all.last().unwrap());
-            max_label - (all.len() as u64 - 1)
-        });
+        assert_eq!(
+            w.lookup(last),
+            w.iter_lids().len() as u64 - 1 + {
+                // last's label is the largest; compute via lookup of max
+                let all = w.iter_lids();
+                let max_label = w.lookup(*all.last().unwrap());
+                max_label - (all.len() as u64 - 1)
+            }
+        );
         w.validate();
     }
 

@@ -3,6 +3,7 @@
 //! weight bounds, range assignment, label order, LIDF pointers, and — in
 //! the respective modes — size fields and pair caches).
 
+use boxes_audit::Auditable;
 use boxes_pager::{Pager, PagerConfig};
 use boxes_wbox::{WBox, WBoxConfig};
 use proptest::prelude::*;
@@ -29,7 +30,7 @@ fn ops() -> impl Strategy<Value = Vec<WOp>> {
     )
 }
 
-fn run(mut w: WBox, script: &[WOp], validate_every_op: bool) {
+fn run(mut w: WBox, script: &[WOp], audit_every_op: bool) {
     let mut order = w.bulk_load(80);
     for op in script {
         match *op {
@@ -73,8 +74,11 @@ fn run(mut w: WBox, script: &[WOp], validate_every_op: bool) {
                 order.drain(a..=b);
             }
         }
-        if validate_every_op {
-            w.validate();
+        if audit_every_op {
+            // The non-panicking audit path: the report must come back empty
+            // after every single op, not merely at the end of the script.
+            let report = w.audit();
+            assert!(report.is_clean(), "dirty after {op:?}:\n{report}");
         }
     }
     w.validate();

@@ -44,7 +44,14 @@ pub fn xmark(target_elements: usize, seed: u64) -> XmlTree {
     let root = t.root();
 
     let regions = t.add_child(root, "regions");
-    let region_names = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let region_names = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
     let mut region_ids = Vec::new();
     for name in region_names {
         region_ids.push(t.add_child(regions, name));
@@ -237,7 +244,13 @@ mod tests {
         let sections: Vec<&str> = t.children(t.root()).iter().map(|&e| t.tag(e)).collect();
         assert_eq!(
             sections,
-            vec!["regions", "categories", "people", "open_auctions", "closed_auctions"]
+            vec![
+                "regions",
+                "categories",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
         );
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! XML substrate for the BOXes reproduction: document model, a minimal
 //! well-formed parser/serializer, synthetic document generators, and the

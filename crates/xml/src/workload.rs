@@ -302,7 +302,15 @@ mod tests {
         let first = ids[0];
         assert_eq!(
             ids,
-            vec![first, first + 2, first + 4, first + 6, first + 5, first + 3, first + 1]
+            vec![
+                first,
+                first + 2,
+                first + 4,
+                first + 6,
+                first + 5,
+                first + 3,
+                first + 1
+            ]
         );
     }
 
@@ -354,11 +362,8 @@ mod tests {
             .map(|(i, &e)| (e, i))
             .collect();
         let new_order = rebuilt.document_order();
-        let new_idx: std::collections::HashMap<_, _> = new_order
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (e, i))
-            .collect();
+        let new_idx: std::collections::HashMap<_, _> =
+            new_order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         for (i, (&o, &n)) in orig_order.iter().zip(&new_order).enumerate().skip(1) {
             let op = orig_idx[&doc.parent(o).unwrap()];
             let np = new_idx[&rebuilt.parent(n).unwrap()];

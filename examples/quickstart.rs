@@ -10,8 +10,8 @@
 
 use boxes_core::pager::{Pager, PagerConfig};
 use boxes_core::wbox::WBoxConfig;
-use boxes_core::{ElementLabeler, LabelingScheme, WBoxScheme};
 use boxes_core::xml::parse;
+use boxes_core::{ElementLabeler, LabelingScheme, WBoxScheme};
 
 fn main() {
     // The example document of the paper's Figure 1 (abridged).

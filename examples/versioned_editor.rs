@@ -20,7 +20,11 @@ fn main() {
     let pager = Pager::new(PagerConfig::with_block_size(block_size));
     let mut wbox = WBox::new(pager.clone(), WBoxConfig::from_block_size(block_size));
     let lids = wbox.bulk_load(60_000); // a 30k-element document's tags
-    println!("loaded {} labels on {} blocks", wbox.len(), pager.allocated_blocks());
+    println!(
+        "loaded {} labels on {} blocks",
+        wbox.len(),
+        pager.allocated_blocks()
+    );
 
     // The §6 layer: a 32-entry modification log.
     let mut editor = CachedWBox::new(wbox, 32);

@@ -3,8 +3,9 @@
 //! effect algebra (flat W-BOX labels, B-BOX path labels, ordinal labels)
 //! and every log size, including the degenerate k = 0.
 
-use boxes_core::cache::CachedRef;
+use boxes_audit::Auditable;
 use boxes_core::bbox::{BBox, BBoxConfig};
+use boxes_core::cache::CachedRef;
 use boxes_core::pager::{Pager, PagerConfig};
 use boxes_core::wbox::{WBox, WBoxConfig};
 use boxes_core::{CachedBBox, CachedOrdinal, CachedWBox, WBoxScheme};
@@ -41,6 +42,10 @@ proptest! {
         let mut wbox = WBox::new(pager, WBoxConfig::small_for_tests());
         let mut order = wbox.bulk_load(120);
         let mut cached = CachedWBox::new(wbox, k);
+        // Anchor a spread of references so the per-action audit exercises
+        // the §6 replay-equivalence check, not just log FIFO order.
+        let anchors: Vec<_> = order.iter().copied().step_by(17).collect();
+        cached.checkpoint(&anchors);
         let mut refs: Vec<CachedRef<u64>> = (0..PROBES).map(|_| CachedRef::new()).collect();
         for action in script {
             match action {
@@ -78,6 +83,8 @@ proptest! {
                     refs[probe] = r;
                 }
             }
+            let report = cached.audit();
+            prop_assert!(report.is_clean(), "dirty after {:?}:\n{}", action, report);
         }
     }
 
@@ -87,6 +94,8 @@ proptest! {
         let mut bbox = BBox::new(pager, BBoxConfig::from_block_size(128));
         let mut order = bbox.bulk_load(120);
         let mut cached = CachedBBox::new(bbox, k);
+        let anchors: Vec<_> = order.iter().copied().step_by(17).collect();
+        cached.checkpoint(&anchors);
         let mut refs: Vec<CachedRef<Vec<u32>>> =
             (0..PROBES).map(|_| CachedRef::new()).collect();
         for action in script {
@@ -116,6 +125,8 @@ proptest! {
                     refs[probe] = r;
                 }
             }
+            let report = cached.audit();
+            prop_assert!(report.is_clean(), "dirty after {:?}:\n{}", action, report);
         }
     }
 
@@ -130,6 +141,8 @@ proptest! {
         let mut order = cached
             .scheme
             .bulk_load_document(&(0..120).map(|i| i ^ 1).collect::<Vec<_>>());
+        let anchors: Vec<_> = order.iter().copied().step_by(17).collect();
+        cached.checkpoint(&anchors);
         let mut refs: Vec<CachedRef<u64>> = (0..PROBES).map(|_| CachedRef::new()).collect();
         for action in script {
             match action {
@@ -158,6 +171,8 @@ proptest! {
                     refs[probe] = r;
                 }
             }
+            let report = cached.audit();
+            prop_assert!(report.is_clean(), "dirty after {:?}:\n{}", action, report);
         }
     }
 }

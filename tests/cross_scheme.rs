@@ -2,9 +2,9 @@
 //! stream must induce the same relative order on the same tags, and the
 //! ordinal-capable schemes must agree on exact positions.
 
+use boxes_core::bbox::BBoxConfig;
 use boxes_core::pager::{Pager, PagerConfig};
 use boxes_core::wbox::WBoxConfig;
-use boxes_core::bbox::BBoxConfig;
 use boxes_core::xml::generate::xmark;
 use boxes_core::xml::workload::{concentrated, document_order, scattered, UpdateStream};
 use boxes_core::{
@@ -17,11 +17,11 @@ fn ranks<S: LabelingScheme>(driver: &DocumentDriver<S>) -> Vec<Option<(usize, us
     let n = driver.element_count();
     let mut labels: Vec<(S::Label, usize, bool)> = Vec::new();
     let mut live = vec![false; n];
-    for i in 0..n {
+    for (i, alive) in live.iter_mut().enumerate() {
         let r = boxes_core::xml::workload::ElemRef(i);
         let pair = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| driver.element(r)));
         if let Ok((s, e)) = pair {
-            live[i] = true;
+            *alive = true;
             labels.push((driver.scheme.lookup(s), i, true));
             labels.push((driver.scheme.lookup(e), i, false));
         }
@@ -205,9 +205,7 @@ fn subtree_stream_equivalence_across_schemes() {
             tree: two_level(25),
         },
     ];
-    ops.push(Op::DeleteElement {
-        elem: ElemRef(100),
-    });
+    ops.push(Op::DeleteElement { elem: ElemRef(100) });
     let stream = UpdateStream {
         base: two_level(100),
         ops,

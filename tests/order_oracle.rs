@@ -7,11 +7,11 @@
 //! reference model (a plain ordered list of tag ids) and on each scheme,
 //! then compare orders.
 
+use boxes_core::bbox::BBoxConfig;
+use boxes_core::lidf::Lid;
 use boxes_core::pager::{Pager, PagerConfig};
 use boxes_core::wbox::WBoxConfig;
-use boxes_core::bbox::BBoxConfig;
 use boxes_core::{BBoxScheme, LabelingScheme, NaiveScheme, WBoxScheme};
-use boxes_core::lidf::Lid;
 use proptest::prelude::*;
 
 /// An abstract op on tag positions: values are indices into the *current*
@@ -170,7 +170,7 @@ fn invariants_after_heavy_mixed_workload() {
     let mut order = w.bulk_load_document(&partner);
     for round in 0usize..3_000 {
         match round % 5 {
-            0 | 1 | 2 => {
+            0..=2 => {
                 let at = (round * 31) % order.len();
                 let new = w.insert_before(order[at]);
                 order.insert(at, new);

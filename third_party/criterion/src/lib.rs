@@ -1,0 +1,160 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the minimal API the bench suites use: a [`Criterion`]
+//! driver, [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timings are coarse single-pass wall-clock
+//! means — enough to spot order-of-magnitude regressions locally, with none
+//! of criterion's statistics, warm-up, or HTML reports.
+
+use std::time::Instant;
+
+/// How batched inputs are amortized; accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; fewer batches).
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement driver handed to every benchmark target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            total_nanos: 0,
+            measured: 0,
+        };
+        f(&mut bencher);
+        let mean = bencher.total_nanos / bencher.measured.max(1) as u128;
+        println!("  {id}: ~{mean} ns/iter ({} iters)", bencher.measured);
+        self
+    }
+
+    /// Finish the group (no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.measured += 1;
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.measured += 1;
+        }
+    }
+}
+
+/// Bundle benchmark targets into a callable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}

@@ -1,0 +1,244 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing values of one type. Unlike real proptest there is
+/// no value tree and no shrinking: `generate` draws a single concrete value.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draw one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erase the concrete strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice among type-erased strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; every weight must be non-zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, strat) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weight sampling out of range")
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u128() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                match (hi - lo).checked_add(1) {
+                    Some(span) => lo + (rng.next_u128() as $t % span),
+                    // Full-width inclusive range: every bit pattern is valid.
+                    None => rng.next_u128() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end - self.start;
+        self.start + rng.next_u128() % span
+    }
+}
+
+/// String-pattern strategies: real proptest treats `&str` as a regex. This
+/// stand-in supports the subset the workspace uses — an optional character
+/// class of literal chars and `a-z` ranges followed by an optional `{lo,hi}`
+/// or `{n}` repetition, e.g. `"[ -~]{0,30}"` — plus plain literal strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = self;
+        let Some(rest) = pattern.strip_prefix('[') else {
+            // No class syntax: treat the pattern as a literal string.
+            assert!(
+                !pattern.contains(['{', '}', '*', '+', '?', '(', ')']),
+                "unsupported string pattern {pattern:?}: this proptest \
+                 stand-in only handles literals and `[class]{{lo,hi}}`"
+            );
+            return (*pattern).to_owned();
+        };
+        let (class, rest) = rest
+            .split_once(']')
+            .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i] as u32, chars[i + 2] as u32));
+                i += 3;
+            } else {
+                ranges.push((chars[i] as u32, chars[i] as u32));
+                i += 1;
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+        let (lo, hi) = match rest {
+            "" => (1, 1),
+            _ => {
+                let body = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.strip_suffix('}'))
+                    .unwrap_or_else(|| panic!("unsupported repetition in {pattern:?}"));
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("bad repetition bound"),
+                        b.trim().parse::<usize>().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+        };
+        let len = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+        let total: u64 = ranges.iter().map(|(a, b)| u64::from(b - a + 1)).sum();
+        (0..len)
+            .map(|_| {
+                let mut pick = rng.next_u64() % total;
+                for &(a, b) in &ranges {
+                    let span = u64::from(b - a + 1);
+                    if pick < span {
+                        return char::from_u32(a + pick as u32).expect("invalid class char");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class sampling out of range")
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = Union::new(vec![(9, (0usize..1).boxed()), (1, (1usize..2).boxed())]);
+        let mut rng = TestRng::deterministic("weights");
+        let ones = (0..10_000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!((500..1_500).contains(&ones), "10% arm hit {ones}/10000");
+    }
+
+    #[test]
+    fn inclusive_full_width_does_not_overflow() {
+        let mut rng = TestRng::deterministic("full");
+        for _ in 0..100 {
+            let _ = (0u8..=u8::MAX).generate(&mut rng);
+        }
+    }
+}
