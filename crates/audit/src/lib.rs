@@ -247,6 +247,7 @@ impl fmt::Display for AuditReport {
 pub trait Auditable {
     /// Inspect every invariant and report all violations found. Must not
     /// panic, even when the underlying storage is corrupted.
+    #[must_use]
     fn audit(&self) -> AuditReport;
 }
 

@@ -7,9 +7,13 @@
 //! Results are printed as aligned text tables (one row per scheme / series
 //! point), matching the quantities of the corresponding paper artifact.
 
+/// Complementary-CDF accumulation for per-operation I/O cost profiles.
 pub mod ccdf;
+/// Table/CSV rendering of measurement results.
 pub mod report;
+/// Workload execution harness shared by the bench binaries.
 pub mod runner;
+/// Document-size scaling grids for the experiment sweeps.
 pub mod scale;
 
 pub use ccdf::ccdf_points;

@@ -90,7 +90,7 @@ impl<E> ModLog<E> {
     /// Whether a cache stamped `last_cached` can be repaired from the log
     /// (every modification after it is still logged).
     pub fn covers(&self, last_cached: Timestamp) -> bool {
-        last_cached + self.entries.len() as u64 >= self.clock
+        last_cached + u64::try_from(self.entries.len()).unwrap_or(u64::MAX) >= self.clock
     }
 
     /// Effects later than `last_cached`, oldest first.
@@ -245,7 +245,9 @@ impl OrdinalEffect {
 impl Effect<u64> for OrdinalEffect {
     fn apply(&self, label: &u64) -> Option<u64> {
         if *label >= self.from {
-            Some((*label as i64 + self.delta) as u64)
+            // Overflow means the cached label can no longer be repaired;
+            // report it dead so the caller falls back to a full lookup.
+            label.checked_add_signed(self.delta)
         } else {
             Some(*label)
         }
@@ -280,7 +282,8 @@ impl Effect<u64> for FlatEffect {
         match *self {
             FlatEffect::Shift { lo, hi, delta } => {
                 if *label >= lo && *label <= hi {
-                    Some((*label as i64 + delta) as u64)
+                    // Overflow ⇒ unrepairable; treat like an invalidation.
+                    label.checked_add_signed(delta)
                 } else {
                     Some(*label)
                 }
@@ -346,9 +349,13 @@ impl Effect<Vec<u32>> for PathEffect {
                     && label[prefix.len()] >= *from_last
                     && label[prefix.len()] <= *hi_last
                 {
+                    // A delta outside i32 or a component overflow cannot be
+                    // repaired in place — invalidate the cached path instead.
+                    let shifted = i32::try_from(*delta)
+                        .ok()
+                        .and_then(|d| label[prefix.len()].checked_add_signed(d))?;
                     let mut out = label.clone();
-                    let last = &mut out[prefix.len()];
-                    *last = (*last as i64 + delta) as u32;
+                    out[prefix.len()] = shifted;
                     Some(out)
                 } else {
                     Some(label.clone())

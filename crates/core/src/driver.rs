@@ -139,6 +139,7 @@ impl<S: LabelingScheme> DocumentDriver<S> {
     }
 
     /// Apply a sequence of ops, returning only the aggregate I/O.
+    #[must_use]
     pub fn replay_total(&mut self, ops: &[Op]) -> IoStats {
         let pager = self.scheme.pager().clone();
         let before = pager.stats();

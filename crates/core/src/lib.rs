@@ -48,10 +48,14 @@
 //! let _ = two_level(4);
 //! ```
 
+/// §6 cached label wrappers (mod-log replay over checkpointed anchors).
 pub mod cached;
+/// Document driver: replays update streams against a labeling scheme.
 pub mod driver;
 mod faults;
+/// End-to-end labeler facade combining a scheme with a document tree.
 pub mod labeler;
+/// The `LabelingScheme`/`OrdinalScheme` trait surface and adapters.
 pub mod scheme;
 
 pub use cached::{CachedBBox, CachedOrdinal, CachedWBox};

@@ -35,6 +35,7 @@
 //! assert_eq!(s.block, e.block);
 //! ```
 
+use boxes_pager::codec::{u64_to_index, usize_to_u64};
 use boxes_pager::{BlockId, Reader, SharedPager, Writer};
 
 /// An immutable label ID: the record number of a LIDF record. Never changes
@@ -176,13 +177,43 @@ impl<R: Record> Lidf<R> {
         self.blocks.len()
     }
 
+    /// Directory index and byte offset of `slot` within its block. Labels
+    /// are `u64`, the directory is `usize`-indexed; the checked helpers keep
+    /// that boundary truncation-free.
+    #[inline]
+    fn slot_pos(&self, slot: u64) -> (usize, usize) {
+        let rpb = usize_to_u64(self.recs_per_block);
+        let bi = u64_to_index(slot / rpb);
+        let offset = u64_to_index(slot % rpb) * Self::SLOT_SIZE;
+        (bi, offset)
+    }
+
+    /// Offset (in records) of the next append slot inside its block.
+    #[inline]
+    fn tail_in_block(&self) -> usize {
+        u64_to_index(self.slots % usize_to_u64(self.recs_per_block))
+    }
+
+    /// Block holding the next append slot, allocating a fresh one at a
+    /// block boundary. `in_block != 0` implies `slots > 0`, which implies a
+    /// tail block exists; the fallthrough keeps the path panic-free anyway.
+    fn tail_block(&mut self, in_block: usize) -> BlockId {
+        if in_block != 0 {
+            if let Some(&b) = self.blocks.last() {
+                return b;
+            }
+        }
+        let b = self.pager.alloc();
+        self.blocks.push(b);
+        b
+    }
+
     #[inline]
     fn locate(&self, lid: Lid) -> (BlockId, usize) {
         let slot = lid.0;
         assert!(slot < self.slots, "LID out of range: {lid:?}");
-        let block = self.blocks[(slot / self.recs_per_block as u64) as usize];
-        let offset = (slot % self.recs_per_block as u64) as usize * Self::SLOT_SIZE;
-        (block, offset)
+        let (bi, offset) = self.slot_pos(slot);
+        (self.blocks[bi], offset)
     }
 
     /// Allocate a record, preferring reclaimed slots.
@@ -203,11 +234,8 @@ impl<R: Record> Lidf<R> {
 
     fn append(&mut self, value: R) -> Lid {
         let lid = Lid(self.slots);
-        let in_block = (self.slots % self.recs_per_block as u64) as usize;
-        if in_block == 0 {
-            self.blocks.push(self.pager.alloc());
-        }
-        let block = *self.blocks.last().expect("just ensured");
+        let in_block = self.tail_in_block();
+        let block = self.tail_block(in_block);
         let mut buf = self.pager.read(block);
         self.write_slot(&mut buf, in_block * Self::SLOT_SIZE, &value);
         self.pager.write(block, &buf);
@@ -229,11 +257,8 @@ impl<R: Record> Lidf<R> {
         let mut lids = Vec::with_capacity(values.len());
         let mut i = 0;
         while i < values.len() {
-            let in_block = (self.slots % self.recs_per_block as u64) as usize;
-            if in_block == 0 {
-                self.blocks.push(self.pager.alloc());
-            }
-            let block = *self.blocks.last().expect("just ensured");
+            let in_block = self.tail_in_block();
+            let block = self.tail_block(in_block);
             let mut buf = self.pager.read(block);
             let mut slot = in_block;
             while slot < self.recs_per_block && i < values.len() {
@@ -258,11 +283,10 @@ impl<R: Record> Lidf<R> {
         }
         // Append path: both slots land in the same or consecutive blocks and
         // the two writes to a shared block are coalesced below.
-        let in_block = (self.slots % self.recs_per_block as u64) as usize;
+        let in_block = self.tail_in_block();
         if in_block == 0 {
             // Fresh block: create it, write both slots with one RMW.
-            self.blocks.push(self.pager.alloc());
-            let block = *self.blocks.last().expect("just pushed");
+            let block = self.tail_block(0);
             let mut buf = self.pager.read(block);
             self.write_slot(&mut buf, 0, &a);
             self.write_slot(&mut buf, Self::SLOT_SIZE, &b);
@@ -275,7 +299,7 @@ impl<R: Record> Lidf<R> {
         }
         if in_block + 1 < self.recs_per_block {
             // Both fit in the current tail block: one read-modify-write.
-            let block = *self.blocks.last().expect("tail block exists");
+            let block = self.tail_block(in_block);
             let mut buf = self.pager.read(block);
             self.write_slot(&mut buf, in_block * Self::SLOT_SIZE, &a);
             self.write_slot(&mut buf, (in_block + 1) * Self::SLOT_SIZE, &b);
@@ -425,9 +449,9 @@ impl<R: Record> Lidf<R> {
     pub fn scan(&self, mut f: impl FnMut(Lid, R)) {
         for (bi, &block) in self.blocks.iter().enumerate() {
             let buf = self.pager.read(block);
-            let base = bi as u64 * self.recs_per_block as u64;
+            let base = usize_to_u64(bi) * usize_to_u64(self.recs_per_block);
             for s in 0..self.recs_per_block {
-                let slot = base + s as u64;
+                let slot = base + usize_to_u64(s);
                 if slot >= self.slots {
                     break;
                 }
@@ -444,10 +468,10 @@ impl<R: Record> Lidf<R> {
     pub fn scan_mut(&mut self, mut f: impl FnMut(Lid, &mut R)) {
         for (bi, block) in self.blocks.clone().into_iter().enumerate() {
             let mut buf = self.pager.read(block);
-            let base = bi as u64 * self.recs_per_block as u64;
+            let base = usize_to_u64(bi) * usize_to_u64(self.recs_per_block);
             let mut touched = false;
             for s in 0..self.recs_per_block {
-                let slot = base + s as u64;
+                let slot = base + usize_to_u64(s);
                 if slot >= self.slots {
                     break;
                 }
@@ -498,10 +522,8 @@ impl<R: Record> boxes_audit::Auditable for Lidf<R> {
             }
         }
         let tag_of = |slot: u64| -> Option<u8> {
-            let buf = bufs
-                .get((slot / self.recs_per_block as u64) as usize)?
-                .as_ref()?;
-            let offset = (slot % self.recs_per_block as u64) as usize * Self::SLOT_SIZE;
+            let (bi, offset) = self.slot_pos(slot);
+            let buf = bufs.get(bi)?.as_ref()?;
             Some(Reader::at(buf, offset).u8())
         };
         let mut live_tags = 0u64;
@@ -559,10 +581,10 @@ impl<R: Record> boxes_audit::Auditable for Lidf<R> {
                     break;
                 }
             }
-            let buf = bufs[(cur / self.recs_per_block as u64) as usize]
-                .as_ref()
-                .expect("tag_of returned Some");
-            let offset = (cur % self.recs_per_block as u64) as usize * Self::SLOT_SIZE;
+            let (bi, offset) = self.slot_pos(cur);
+            let Some(buf) = bufs.get(bi).and_then(|b| b.as_ref()) else {
+                break; // unreachable: tag_of(cur) just returned Some
+            };
             cur = Reader::at(buf, offset + 1).u64();
         }
         // Free-tagged slots unreachable from the chain are leaked: they can
@@ -579,7 +601,7 @@ impl<R: Record> boxes_audit::Auditable for Lidf<R> {
                 }
             }
             let expected_free = self.slots - self.live;
-            if on_chain.len() as u64 != expected_free {
+            if usize_to_u64(on_chain.len()) != expected_free {
                 report.push(
                     Violation::new(ViolationKind::FreeChain, "lidf/free-chain")
                         .expected(format!("{expected_free} slots (slots − live)"))

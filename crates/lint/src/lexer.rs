@@ -1,0 +1,417 @@
+//! Hand-rolled Rust lexer.
+//!
+//! The rule engine needs exactly enough lexical fidelity to tell *code* from
+//! *not-code*: string literals (plain, raw, byte, C), character literals vs
+//! lifetimes, nested block comments, raw identifiers. Everything else is
+//! deliberately coarse — keywords arrive as plain [`TokenKind::Ident`] tokens
+//! and multi-byte operators as consecutive [`TokenKind::Punct`] tokens, which
+//! keeps the lexer small and the rules explicit about the sequences they
+//! match.
+//!
+//! The lexer never panics: malformed or truncated input produces a best-effort
+//! token stream, which is the right behavior for an analyzer that must report
+//! on files it did not write.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Lifetime such as `'a` (also the anonymous `'_`).
+    Lifetime,
+    /// Character or byte-character literal, e.g. `'x'`, `'\''`, `b'\n'`.
+    Char,
+    /// String-ish literal: plain, raw, byte, or C string, prefix included.
+    Str,
+    /// Numeric literal (any base, underscores and suffix included).
+    Num,
+    /// `// …` comment, doc (`///`, `//!`) or plain.
+    LineComment,
+    /// `/* … */` comment, doc (`/** */`) or plain; nesting handled.
+    BlockComment,
+    /// A single punctuation byte (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consume bytes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a complete token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = if b == b'/' && cur.peek(1) == Some(b'/') {
+            lex_line_comment(&mut cur)
+        } else if b == b'/' && cur.peek(1) == Some(b'*') {
+            lex_block_comment(&mut cur)
+        } else if b == b'\'' {
+            lex_quote(&mut cur)
+        } else if b == b'"' {
+            lex_string(&mut cur)
+        } else if is_ident_start(b) {
+            lex_ident_or_prefixed(&mut cur)
+        } else if b.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.eat_while(|b| b != b'\n');
+    TokenKind::LineComment
+}
+
+/// Block comment with Rust's nesting semantics; unterminated comments consume
+/// the rest of the file (still reported as a comment token).
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump_n(2); // `/*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump_n(2);
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump_n(2);
+            }
+            (Some(_), _) => cur.bump(),
+            (None, _) => break,
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// `'` starts either a character literal or a lifetime. A lifetime is a `'`
+/// followed by an identifier that is *not* closed by another `'`.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    match cur.peek(1) {
+        Some(b'\\') => {
+            lex_char_body(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek(2) == Some(b'\'') {
+                // 'x' — a plain one-byte character literal.
+                cur.bump_n(3);
+                TokenKind::Char
+            } else {
+                cur.bump(); // `'`
+                cur.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Characters that cannot start an identifier, e.g. '(' or '0'.
+            lex_char_body(cur);
+            TokenKind::Char
+        }
+        None => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consume a character literal starting at `'`, handling escapes such as
+/// `'\''` and `'\u{1F600}'`. Stops at the closing quote or end of line.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening `'`
+    loop {
+        match cur.peek(0) {
+            Some(b'\\') => cur.bump_n(2),
+            Some(b'\'') => {
+                cur.bump();
+                break;
+            }
+            Some(b'\n') | None => break,
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Plain (escaped) string body starting at `"`.
+fn lex_string(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // opening `"`
+    loop {
+        match cur.peek(0) {
+            Some(b'\\') => cur.bump_n(2),
+            Some(b'"') => {
+                cur.bump();
+                break;
+            }
+            Some(_) => cur.bump(),
+            None => break,
+        }
+    }
+    TokenKind::Str
+}
+
+/// Raw string body: the cursor sits on `r`/`b`/`c`; `prefix_len` letters are
+/// followed by `hashes` hash marks and the opening quote. Consumes through
+/// the matching `"` + hashes terminator.
+fn lex_raw_string(cur: &mut Cursor<'_>, prefix_len: usize, hashes: usize) -> TokenKind {
+    cur.bump_n(prefix_len + hashes + 1); // letters, hashes, `"`
+    'outer: loop {
+        match cur.peek(0) {
+            Some(b'"') => {
+                for k in 0..hashes {
+                    if cur.peek(1 + k) != Some(b'#') {
+                        cur.bump();
+                        continue 'outer;
+                    }
+                }
+                cur.bump_n(1 + hashes);
+                break;
+            }
+            Some(_) => cur.bump(),
+            None => break,
+        }
+    }
+    TokenKind::Str
+}
+
+/// An identifier-start byte may actually open a prefixed literal: `r"…"`,
+/// `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `cr"…"`, `b'x'`, or a raw identifier
+/// `r#ident`. Disambiguate by looking past the prefix.
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    let b = cur.peek(0).unwrap_or(0);
+    let (prefix_len, raw_capable) = match (b, cur.peek(1)) {
+        (b'r', _) => (1, true),
+        (b'b', Some(b'r')) | (b'c', Some(b'r')) => (2, true),
+        (b'b', _) | (b'c', _) => (1, false),
+        _ => (0, false),
+    };
+    if prefix_len > 0 {
+        if raw_capable {
+            let mut hashes = 0;
+            while cur.peek(prefix_len + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if cur.peek(prefix_len + hashes) == Some(b'"') {
+                return lex_raw_string(cur, prefix_len, hashes);
+            }
+            if b == b'r' && hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#type`.
+                cur.bump_n(2);
+                cur.eat_while(is_ident_continue);
+                return TokenKind::Ident;
+            }
+        } else if cur.peek(prefix_len) == Some(b'"') {
+            cur.bump_n(prefix_len);
+            return lex_string(cur);
+        } else if b == b'b' && cur.peek(1) == Some(b'\'') {
+            cur.bump(); // `b`
+            lex_char_body(cur);
+            return TokenKind::Char;
+        }
+    }
+    cur.eat_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// Numeric literal: integer or float, `0x`/`0o`/`0b` bases, underscores, and
+/// trailing type suffixes (`u64`, `f32`, …) are all kept in one token.
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.peek(0) == Some(b'0')
+        && matches!(
+            cur.peek(1),
+            Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X')
+        )
+    {
+        cur.bump_n(2);
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return TokenKind::Num;
+    }
+    cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    // A fractional part only when followed by a digit — `0..5` and `1.max(2)`
+    // must not swallow the dot.
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    // Type suffix or exponent letters.
+    cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    TokenKind::Num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quote")));
+        // The quoted `"` must not terminate the raw string early.
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\''");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw"#; let c = c"cstr";"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn numbers_keep_suffix_and_ranges_split() {
+        let toks = kinds("0xFF_u32 1_000u64 0..5 1.5f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, ["0xFF_u32", "1_000u64", "0", "5", "1.5f64"]);
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["/* never closed", "\"open string", "r#\"open raw", "'"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// doc\n//! inner\n/** block doc */ fn x() {}");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2].0, TokenKind::BlockComment);
+    }
+}

@@ -1,0 +1,213 @@
+//! `boxes-lint` — a dependency-free source-level static analyzer for the
+//! BOXes workspace.
+//!
+//! The paper's contribution is measured in block I/Os, so correctness here
+//! means *discipline*: every disk touch flows through the accounted
+//! [`Pager`] entry points and label/offset arithmetic never silently
+//! truncates. Generic tools cannot see those invariants; this crate encodes
+//! them as the BX001–BX006 rule catalog (see [`rules`]) over a hand-rolled
+//! lexer ([`lexer`]) and a lightweight token-stream model ([`model`]) — no
+//! rustc internals, no external dependencies.
+//!
+//! Findings are [`report::Diagnostic`]s with `file:line:col` spans. A
+//! checked-in baseline (`lint.toml`, parsed by [`config`]) suppresses
+//! reviewed findings; every entry needs a justification, and an entry that
+//! no longer matches anything fails the gate so the baseline can only
+//! shrink.
+//!
+//! [`Pager`]: https://docs.rs/boxes-pager
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The `lint.toml` suppression baseline: parser and matching policy.
+pub mod config;
+/// The hand-rolled, panic-free Rust lexer.
+pub mod lexer;
+/// Token-stream source model (brackets, test regions, item scopes).
+pub mod model;
+/// Diagnostics plus the human and JSON renderers.
+pub mod report;
+/// The BX001–BX006 rule catalog.
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use model::SourceFile;
+use report::{Diagnostic, Outcome};
+
+/// Lint a single source text under its workspace-relative `path`.
+///
+/// Applies the per-rule `allow_paths` policy from `config` but not the
+/// `[[allow]]` baseline — feed the result to [`apply_baseline`] for that.
+pub fn lint_source(path: &str, text: &str, config: &Config) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path, text);
+    let fns = rules::collect_report_fns(&file);
+    let mut diags = Vec::new();
+    rules::run_all(&file, &fns, &mut diags);
+    diags.retain(|d| !config.rule_allows_path(d.rule, &d.path));
+    sort_diags(&mut diags);
+    diags
+}
+
+/// Partition findings into suppressed/unsuppressed against the `[[allow]]`
+/// baseline and surface entries that matched nothing (stale suppressions).
+pub fn apply_baseline(diags: Vec<Diagnostic>, config: &Config) -> Outcome {
+    let mut matched = vec![false; config.allows.len()];
+    let mut outcome = Outcome::default();
+    for d in diags {
+        let hit = config.allows.iter().position(|a| {
+            a.rule == d.rule
+                && a.path == d.path
+                && a.contains.as_deref().is_none_or(|c| d.snippet.contains(c))
+        });
+        match hit {
+            Some(i) => {
+                if let Some(slot) = matched.get_mut(i) {
+                    *slot = true;
+                }
+                outcome.suppressed.push(d);
+            }
+            None => outcome.unsuppressed.push(d),
+        }
+    }
+    for (i, a) in config.allows.iter().enumerate() {
+        if !matched.get(i).copied().unwrap_or(true) {
+            outcome.stale_allows.push(format!(
+                "lint.toml:{}: [[allow]] {} in {} matched no findings — remove the \
+                 stale entry",
+                a.line_no, a.rule, a.path
+            ));
+        }
+    }
+    outcome
+}
+
+/// Lint the whole workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src` and `xtask/src` (integration tests, fixtures, and
+/// `third_party/` are out of scope), with the baseline applied.
+pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Outcome> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let xtask_src = root.join("xtask").join("src");
+    if xtask_src.is_dir() {
+        collect_rs(&xtask_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut parsed: Vec<SourceFile> = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)?;
+        parsed.push(SourceFile::parse(rel_path(root, path), text));
+    }
+    let mut fns: BTreeSet<String> = BTreeSet::new();
+    for f in &parsed {
+        fns.extend(rules::collect_report_fns(f));
+    }
+    let mut diags = Vec::new();
+    for f in &parsed {
+        let mut file_diags = Vec::new();
+        rules::run_all(f, &fns, &mut file_diags);
+        file_diags.retain(|d| !config.rule_allows_path(d.rule, &d.path));
+        diags.extend(file_diags);
+    }
+    sort_diags(&mut diags);
+    let mut outcome = apply_baseline(diags, config);
+    outcome.files_scanned = parsed.len();
+    Ok(outcome)
+}
+
+/// Load and parse `lint.toml` from the workspace root. A missing file is an
+/// empty config (no policy, no suppressions).
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    if !path.is_file() {
+        return Ok(Config::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read lint.toml: {e}"))?;
+    Config::parse(&text).map_err(|e| e.to_string())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use report::Diagnostic;
+
+    fn diag(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_suppresses_and_detects_stale() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"BX003\"\npath = \"crates/a/src/lib.rs\"\n\
+             contains = \"invariant\"\njustification = \"documented invariant\"\n\
+             [[allow]]\nrule = \"BX004\"\npath = \"crates/b/src/lib.rs\"\n\
+             justification = \"never matches\"\n",
+        )
+        .expect("valid config");
+        let diags = vec![
+            diag("BX003", "crates/a/src/lib.rs", "x.expect(\"invariant: y\")"),
+            diag("BX003", "crates/a/src/lib.rs", "z.unwrap()"),
+        ];
+        let outcome = apply_baseline(diags, &cfg);
+        assert_eq!(outcome.suppressed.len(), 1);
+        assert_eq!(outcome.unsuppressed.len(), 1);
+        assert_eq!(outcome.stale_allows.len(), 1);
+        assert!(outcome.stale_allows[0].contains("BX004"));
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn allow_paths_policy_filters_findings() {
+        let cfg =
+            Config::parse("[rules.BX003]\nallow_paths = [\"xtask/src\"]\n").expect("valid config");
+        let diags = lint_source("xtask/src/main.rs", "fn f() { x.unwrap(); }", &cfg);
+        assert!(diags.is_empty());
+        let diags = lint_source("crates/a/src/lib.rs", "fn f() { x.unwrap(); }", &cfg);
+        assert_eq!(diags.len(), 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! The BX rule catalog.
+//!
+//! Every rule is a pure function over a [`SourceFile`]. Rules only see
+//! tokens — no types — so each one is written to be precise on this
+//! workspace's idioms and to err on the side of firing (a finding can be
+//! baselined with a justification; a silent miss cannot).
+//!
+//! | ID    | Invariant                                                        |
+//! |-------|------------------------------------------------------------------|
+//! | BX001 | pager I/O (`read/write/alloc/free`) only in designated modules   |
+//! | BX002 | `std::fs` only behind the pager's file backend (and tooling)     |
+//! | BX003 | no `unwrap/expect/panic!/unreachable!` in non-test library code  |
+//! | BX004 | no `as` casts to integer types — use `try_from`/`From` helpers   |
+//! | BX005 | `AuditReport`/`IoStats` producers are `#[must_use]`, never dropped |
+//! | BX006 | every `pub` item carries a doc comment                           |
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::model::{Scope, SourceFile};
+use crate::report::Diagnostic;
+
+/// All stable rule IDs, in catalog order.
+pub const RULE_IDS: [&str; 6] = ["BX001", "BX002", "BX003", "BX004", "BX005", "BX006"];
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const PAGER_METHODS: [&str; 4] = ["read", "write", "alloc", "free"];
+
+/// Type names whose producers must be `#[must_use]` (BX005).
+const REPORT_TYPES: [&str; 2] = ["AuditReport", "IoStats"];
+
+/// Run every rule against one file.
+pub fn run_all(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut Vec<Diagnostic>) {
+    bx001_pager_discipline(file, out);
+    bx002_filesystem_access(file, out);
+    bx003_panic_freedom(file, out);
+    bx004_integer_casts(file, out);
+    bx005_must_use(file, must_use_fns, out);
+    bx006_public_docs(file, out);
+}
+
+/// Collect the names of functions in `file` that return one of the
+/// [`REPORT_TYPES`] — the name set BX005's discard check consumes.
+pub fn collect_report_fns(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for si in 0..file.slen() {
+        if file.stext(si) != "fn" || file.item_ctx[si].is_none() {
+            continue;
+        }
+        if let Some((name, _, returns_report)) = fn_signature(file, si) {
+            if returns_report {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+fn push(
+    file: &SourceFile,
+    si: usize,
+    rule: &'static str,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (line, col) = file.stok(si).map(|t| (t.line, t.col)).unwrap_or((0, 0));
+    out.push(Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        col,
+        message,
+        snippet: file.line_snippet(si).to_string(),
+    });
+}
+
+fn is_ident(file: &SourceFile, si: usize, text: &str) -> bool {
+    file.stok(si).is_some_and(|t| t.kind == TokenKind::Ident) && file.stext(si) == text
+}
+
+/// Is sig-index `si` immediately preceded by a `::` (two `:` puncts)?
+fn preceded_by_path_sep(file: &SourceFile, si: usize) -> bool {
+    si >= 2 && file.stext(si - 1) == ":" && file.stext(si - 2) == ":"
+}
+
+/// BX001: pager entry points (`read`/`write`/`alloc`/`free`) may only be
+/// invoked from the pager crate and each scheme's designated I/O modules
+/// (enforced via `allow_paths` policy in `lint.toml`). Every other call is
+/// unaccounted I/O that voids the paper's block-transfer measurements.
+fn bx001_pager_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        let name = file.stext(si);
+        if !PAGER_METHODS.contains(&name)
+            || file.stok(si).map(|t| t.kind) != Some(TokenKind::Ident)
+            || file.stext(si + 1) != "("
+        {
+            continue;
+        }
+        let via_method = si >= 2 && file.stext(si - 1) == "." && {
+            let recv = si - 2;
+            let recv_is_pager = |j: usize| {
+                file.stok(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && file.stext(j).to_ascii_lowercase().ends_with("pager")
+            };
+            if recv_is_pager(recv) {
+                true
+            } else if file.stext(recv) == ")" {
+                // `.pager().read(…)` — look at the ident before the call.
+                file.open_of[recv]
+                    .and_then(|open| open.checked_sub(1))
+                    .is_some_and(recv_is_pager)
+            } else {
+                false
+            }
+        };
+        let via_path = preceded_by_path_sep(file, si) && si >= 3 && file.stext(si - 3) == "Pager";
+        if via_method || via_path {
+            push(
+                file,
+                si,
+                "BX001",
+                format!(
+                    "direct pager `{name}()` call outside a designated I/O module — \
+                     block transfers must stay accounted"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// BX002: the only module allowed to touch the filesystem is the pager's
+/// file backend (plus tooling crates, via `allow_paths`). Everything else
+/// must go through `Pager` so I/O stays measurable.
+fn bx002_filesystem_access(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        if is_ident(file, si, "std")
+            && file.stext(si + 1) == ":"
+            && file.stext(si + 2) == ":"
+            && is_ident(file, si + 3, "fs")
+        {
+            push(
+                file,
+                si,
+                "BX002",
+                "`std::fs` outside the pager file backend — disk access must flow \
+                 through `Pager`"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// BX003: library code must be panic-free. `unwrap`/`expect` calls and
+/// `panic!`/`unreachable!` invocations outside `#[cfg(test)]` regions are
+/// findings; documented contract panics get baseline entries instead.
+fn bx003_panic_freedom(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        let text = file.stext(si);
+        let is_method = matches!(text, "unwrap" | "expect")
+            && si >= 1
+            && file.stext(si - 1) == "."
+            && file.stext(si + 1) == "("
+            && !call_returns_try(file, si + 1);
+        let is_macro = matches!(text, "panic" | "unreachable") && file.stext(si + 1) == "!";
+        if (is_method || is_macro) && file.stok(si).map(|t| t.kind) == Some(TokenKind::Ident) {
+            let form = if is_macro {
+                format!("`{text}!`")
+            } else {
+                format!("`.{text}()`")
+            };
+            push(
+                file,
+                si,
+                "BX003",
+                format!(
+                    "{form} in non-test library code — return a typed error or baseline \
+                         with a documented invariant"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// A call whose close paren is immediately followed by `?` returns
+/// `Result`/`Option` and is propagated, so it cannot be the panicking
+/// `Option::expect`/`Result::unwrap` — it is a caller-defined method that
+/// happens to share the name (e.g. a parser's `self.expect("<")?`).
+fn call_returns_try(file: &SourceFile, open: usize) -> bool {
+    file.close_of
+        .get(open)
+        .copied()
+        .flatten()
+        .is_some_and(|close| file.stext(close + 1) == "?")
+}
+
+/// BX004: `as` casts to integer types silently truncate or sign-flip, which
+/// voids the paper's label-bit accounting (Thm 4.4 / Thm 5.1). Use
+/// `From`/`TryFrom` or the checked helpers in `pager::codec`; provably-safe
+/// casts get per-file baseline entries.
+fn bx004_integer_casts(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        if is_ident(file, si, "as") && INT_TYPES.contains(&file.stext(si + 1)) {
+            push(
+                file,
+                si,
+                "BX004",
+                format!(
+                    "`as {}` cast — use `From`/`TryFrom` (or a checked codec helper) so \
+                     truncation cannot silently corrupt labels or offsets",
+                    file.stext(si + 1)
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Decode the signature starting at the `fn` keyword at sig-index `si`.
+/// Returns `(name, name_si, returns_report_type)`.
+fn fn_signature(file: &SourceFile, si: usize) -> Option<(String, usize, bool)> {
+    let name_si = si + 1;
+    let name_tok = file.stok(name_si)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = file.stext(name_si).to_string();
+    // Skip generics, find the parameter list.
+    let mut j = name_si + 1;
+    if file.stext(j) == "<" {
+        let mut depth = 1i32;
+        j += 1;
+        while j < file.slen() && depth > 0 {
+            match file.stext(j) {
+                "<" => depth += 1,
+                ">" if file.stext(j.wrapping_sub(1)) != "-" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if file.stext(j) != "(" {
+        return None;
+    }
+    let close = file.close_of[j]?;
+    // Return type: scan from after `)` to the body/terminator.
+    let mut returns_report = false;
+    if file.stext(close + 1) == "-" && file.stext(close + 2) == ">" {
+        let mut k = close + 3;
+        while k < file.slen() {
+            match file.stext(k) {
+                "{" | ";" | "where" => break,
+                t if REPORT_TYPES.contains(&t) => {
+                    returns_report = true;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+    }
+    Some((name, name_si, returns_report))
+}
+
+/// BX005: any function returning `AuditReport`/`IoStats` must be
+/// `#[must_use]` (trait impls inherit the trait's attribute and are
+/// skipped), and call sites must consume the value — a dropped report is an
+/// unchecked invariant.
+fn bx005_must_use(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut Vec<Diagnostic>) {
+    // Declarations.
+    for si in 0..file.slen() {
+        if file.in_test[si] || file.stext(si) != "fn" {
+            continue;
+        }
+        let Some(scope) = file.item_ctx[si] else {
+            continue;
+        };
+        if scope == Scope::TraitImpl {
+            continue;
+        }
+        let Some((name, _, returns_report)) = fn_signature(file, si) else {
+            continue;
+        };
+        if !returns_report {
+            continue;
+        }
+        let trivia = file.leading_trivia(si);
+        if !trivia.attr_idents.iter().any(|a| a == "must_use") {
+            push(
+                file,
+                si,
+                "BX005",
+                format!("`{name}` returns an audit/I/O report but is not `#[must_use]`"),
+                out,
+            );
+        }
+    }
+    // Call-site discards: `<chain>.name(…);` as a bare statement.
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        let name = file.stext(si);
+        if !must_use_fns.contains(name)
+            || file.stok(si).map(|t| t.kind) != Some(TokenKind::Ident)
+            || file.stext(si + 1) != "("
+        {
+            continue;
+        }
+        let Some(close) = file.close_of[si + 1] else {
+            continue;
+        };
+        if file.stext(close + 1) != ";" {
+            continue;
+        }
+        if is_discarded_statement(file, si) {
+            push(
+                file,
+                si,
+                "BX005",
+                format!(
+                    "result of `{name}()` is discarded — audit/I/O reports must be \
+                         consumed"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Walk left from the call ident at `si` to the start of its receiver chain
+/// and report whether the whole expression is a bare statement.
+fn is_discarded_statement(file: &SourceFile, si: usize) -> bool {
+    let mut start = si; // first token of the current chain element
+    loop {
+        if start == 0 {
+            return true;
+        }
+        let prev = start - 1;
+        if file.stext(prev) == "." || preceded_by_path_sep(file, start) {
+            let link = if file.stext(prev) == "." {
+                prev
+            } else {
+                start - 2
+            };
+            if link == 0 {
+                return false; // malformed; be conservative
+            }
+            let mut elem = link - 1;
+            // Jump over a call/index group: `foo(…).name`, `xs[i].name`.
+            if matches!(file.stext(elem), ")" | "]") {
+                match file.open_of[elem] {
+                    Some(open) => elem = open,
+                    None => return false,
+                }
+                // `foo(…)` — include the callee ident.
+                if elem > 0
+                    && file
+                        .stok(elem - 1)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    elem -= 1;
+                }
+            }
+            start = elem;
+        } else {
+            return matches!(file.stext(prev), ";" | "{" | "}");
+        }
+    }
+}
+
+/// BX006: every `pub` item in library code carries a doc comment
+/// (token-aware replacement for the old regex sweep; `pub(crate)` and
+/// re-exports are out of scope, as are trait-impl members).
+fn bx006_public_docs(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] || file.stext(si) != "pub" {
+            continue;
+        }
+        if !matches!(
+            file.item_ctx[si],
+            Some(Scope::Module) | Some(Scope::InherentImpl) | Some(Scope::DataBody)
+        ) {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)`, `pub(in …)`) is not public API.
+        if file.stext(si + 1) == "(" {
+            continue;
+        }
+        // Re-exports inherit the target's docs.
+        if file.stext(si + 1) == "use" {
+            continue;
+        }
+        if file.leading_trivia(si).has_doc {
+            continue;
+        }
+        // Name the item for the message: first ident after the item keyword.
+        let mut j = si + 1;
+        let mut keyword = "";
+        let mut name = String::new();
+        while j < file.slen() && j < si + 8 {
+            let t = file.stext(j);
+            if matches!(
+                t,
+                "fn" | "struct"
+                    | "enum"
+                    | "union"
+                    | "trait"
+                    | "mod"
+                    | "const"
+                    | "static"
+                    | "type"
+                    | "macro"
+            ) {
+                keyword = file.stext(j);
+                name = file.stext(j + 1).to_string();
+                break;
+            }
+            j += 1;
+        }
+        let what = if keyword.is_empty() {
+            // A `pub` field inside a struct body.
+            format!("field `{}`", file.stext(si + 1))
+        } else {
+            format!("{keyword} `{name}`")
+        };
+        push(
+            file,
+            si,
+            "BX006",
+            format!("public {what} has no doc comment"),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        let fns = collect_report_fns(&file);
+        let mut out = Vec::new();
+        run_all(&file, &fns, &mut out);
+        out
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn bx001_fires_on_pager_receiver_only() {
+        let diags = lint("fn f(p: &mut Pager) { p.pager.read(id); buf.read(x); }");
+        assert_eq!(rules_of(&diags), vec!["BX001"]);
+    }
+
+    #[test]
+    fn bx003_skips_unwrap_or_else() {
+        let diags = lint("fn f() { x.unwrap_or_else(|| 0); y.unwrap(); }");
+        assert_eq!(rules_of(&diags), vec!["BX003"]);
+    }
+
+    #[test]
+    fn bx003_skips_propagated_expect_method() {
+        // `self.expect("<")?` returns Result — a caller-defined method that
+        // shares the name, not the panicking Option/Result combinator.
+        let diags = lint("fn f() -> Result<(), E> { self.expect(\"<\")?; Ok(()) }");
+        assert!(diags.is_empty(), "{diags:?}");
+        let diags = lint("fn g() { self.expect(\"<\"); }");
+        assert_eq!(rules_of(&diags), vec!["BX003"]);
+    }
+
+    #[test]
+    fn bx004_ignores_non_integer_as() {
+        let diags = lint("fn f(x: &dyn Any) { let y = x as &dyn Other; let z = n as u32; }");
+        assert_eq!(rules_of(&diags), vec!["BX004"]);
+    }
+
+    #[test]
+    fn bx005_discard_vs_use() {
+        let src = "fn stats() -> IoStats { s }\n\
+                   fn g() { h.stats(); let keep = h.stats(); keep.reads; }";
+        let diags = lint(src);
+        // One decl finding (stats not must_use) + one discard finding.
+        let bx005: Vec<_> = diags.iter().filter(|d| d.rule == "BX005").collect();
+        assert_eq!(bx005.len(), 2);
+        assert!(bx005.iter().any(|d| d.message.contains("discarded")));
+    }
+
+    #[test]
+    fn bx006_requires_docs_on_pub_only() {
+        let src = "/// ok\npub fn documented() {}\npub fn bare() {}\nfn private() {}";
+        let diags = lint(src);
+        assert_eq!(rules_of(&diags), vec!["BX006"]);
+        assert!(diags[0].message.contains("bare"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); let y = z as u8; }\n}";
+        assert!(lint(src).is_empty());
+    }
+}

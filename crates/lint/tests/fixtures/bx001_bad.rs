@@ -1,0 +1,14 @@
+//! BX001 fixture: direct pager traffic outside a designated I/O module.
+
+fn sneak_a_read(pager: &mut Pager, id: BlockId) -> Vec<u8> {
+    // Unaccounted block transfer — bypasses the scheme API.
+    pager.read(id)
+}
+
+fn sneak_an_alloc(state: &mut State) -> BlockId {
+    state.pager.alloc()
+}
+
+fn path_form() {
+    Pager::free(BlockId(7));
+}

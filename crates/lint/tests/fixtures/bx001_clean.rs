@@ -1,0 +1,10 @@
+//! BX001 fixture: consumer code that stays behind the scheme API.
+
+fn lookup(scheme: &mut dyn Scheme, e: ElementId) -> Label {
+    scheme.label_of(e)
+}
+
+fn not_a_pager(reader: &mut BufReader) -> Vec<u8> {
+    // `read` on a non-pager receiver is fine.
+    reader.read(16)
+}

@@ -1,0 +1,8 @@
+//! BX002 fixture: filesystem access outside the pager's file backend.
+
+use std::fs;
+
+fn stash(data: &[u8]) {
+    let _ = std::fs::write("/tmp/leak.bin", data);
+    let _ = fs::read("/tmp/leak.bin");
+}

@@ -1,0 +1,6 @@
+//! BX002 fixture: no filesystem access; persistence goes through the
+//! scheme API, which owns the accounted pager traffic.
+
+fn persist(scheme: &mut dyn Scheme, e: ElementId) {
+    scheme.flush(e);
+}

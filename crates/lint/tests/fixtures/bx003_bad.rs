@@ -1,0 +1,13 @@
+//! BX003 fixture: panics in non-test library code.
+
+fn brittle(map: &Map, key: u32) -> u64 {
+    let hit = map.get(&key).unwrap();
+    let also = map.get(&key).expect("key present");
+    if hit != also {
+        panic!("impossible");
+    }
+    match hit {
+        0 => unreachable!("zero is reserved"),
+        n => n,
+    }
+}

@@ -1,0 +1,21 @@
+//! BX003 fixture: typed errors in library code; panics confined to tests.
+
+fn robust(map: &Map, key: u32) -> Result<u64, MissingKey> {
+    map.get(&key).copied().ok_or(MissingKey(key))
+}
+
+fn parser_method(p: &mut Parser) -> Result<(), ParseError> {
+    // A caller-defined `expect` that propagates with `?` is not
+    // `Option::expect`.
+    p.expect("<")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

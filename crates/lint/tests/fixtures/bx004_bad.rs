@@ -1,0 +1,7 @@
+//! BX004 fixture: truncating `as` casts to integer types.
+
+fn truncates(slots: u64, count: usize) -> (usize, u16) {
+    let index = slots as usize;
+    let on_disk = count as u16;
+    (index, on_disk)
+}

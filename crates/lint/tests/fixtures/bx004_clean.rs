@@ -1,0 +1,10 @@
+//! BX004 fixture: checked conversions instead of `as`.
+
+fn converts(slots: u64, count: usize) -> Result<(usize, u16), CastOverflow> {
+    let index = usize::try_from(slots).map_err(|_| CastOverflow)?;
+    let on_disk = u16::try_from(count).map_err(|_| CastOverflow)?;
+    // `as` to a non-integer type is outside BX004's scope.
+    let any = &index as &dyn std::any::Any;
+    let _ = any;
+    Ok((index, on_disk))
+}

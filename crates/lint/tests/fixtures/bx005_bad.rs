@@ -1,0 +1,12 @@
+//! BX005 fixture: an audit-report producer without `#[must_use]`, and a
+//! call site that discards the report.
+
+/// Produces the invariant audit.
+pub fn audit(tree: &Tree) -> AuditReport {
+    tree.check()
+}
+
+fn driver(tree: &Tree) {
+    // Discarded — the whole point of the audit is lost.
+    audit(tree);
+}

@@ -1,0 +1,12 @@
+//! BX005 fixture: `#[must_use]` audit producer and a consumed report.
+
+/// Produces the invariant audit.
+#[must_use]
+pub fn audit(tree: &Tree) -> AuditReport {
+    tree.check()
+}
+
+fn driver(tree: &Tree) -> bool {
+    let report = audit(tree);
+    report.ok()
+}

@@ -1,0 +1,11 @@
+//! BX006 fixture: undocumented public items.
+
+pub struct Opaque {
+    /// Documented field next to an undocumented one.
+    pub fine: u32,
+    pub mystery: u32,
+}
+
+pub fn what_does_this_do(x: u32) -> u32 {
+    x + 1
+}

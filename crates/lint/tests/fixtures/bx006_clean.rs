@@ -1,0 +1,18 @@
+//! BX006 fixture: every public item documented.
+
+/// A documented struct.
+pub struct Documented {
+    /// A documented field.
+    pub field: u32,
+}
+
+/// Adds one.
+pub fn documented(x: u32) -> u32 {
+    x + 1
+}
+
+fn private_needs_no_docs(x: u32) -> u32 {
+    x
+}
+
+pub use other::Reexport;

@@ -1,0 +1,122 @@
+//! Fixture-driven proof that every rule in the BX001–BX006 catalog fires on
+//! a known-bad snippet and stays quiet on its known-clean counterpart, plus
+//! the stale-suppression negative control.
+
+use boxes_lint::config::Config;
+use boxes_lint::{apply_baseline, lint_source};
+
+/// Load a fixture and lint it as if it lived in consumer library code
+/// (a path no `allow_paths` policy would cover).
+fn lint_fixture(name: &str) -> Vec<&'static str> {
+    let path = format!("{}/tests/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path} unreadable: {e}"));
+    lint_source("crates/fixture/src/lib.rs", &text, &Config::default())
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    for rule in ["BX001", "BX002", "BX003", "BX004", "BX005", "BX006"] {
+        let fired = lint_fixture(&format!("{}_bad", rule.to_lowercase()));
+        assert!(
+            fired.contains(&rule),
+            "{rule} did not fire on its bad fixture (got {fired:?})"
+        );
+    }
+}
+
+#[test]
+fn no_rule_fires_on_its_clean_fixture() {
+    for rule in ["BX001", "BX002", "BX003", "BX004", "BX005", "BX006"] {
+        let fired = lint_fixture(&format!("{}_clean", rule.to_lowercase()));
+        assert!(
+            !fired.contains(&rule),
+            "{rule} fired on its clean fixture ({fired:?})"
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_counts_are_pinned() {
+    // A rule regression that doubles or silences findings should trip
+    // something more precise than "at least one".
+    let cases = [
+        ("bx001_bad", "BX001", 3),
+        ("bx002_bad", "BX002", 2),
+        ("bx003_bad", "BX003", 4),
+        ("bx004_bad", "BX004", 2),
+        ("bx005_bad", "BX005", 2),
+        ("bx006_bad", "BX006", 3),
+    ];
+    for (fixture, rule, want) in cases {
+        let fired = lint_fixture(fixture);
+        let got = fired.iter().filter(|r| **r == rule).count();
+        assert_eq!(
+            got, want,
+            "{fixture}: expected {want} {rule} findings, got {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn stale_suppression_fails_the_gate() {
+    let toml = r#"
+[[allow]]
+rule = "BX003"
+path = "crates/fixture/src/lib.rs"
+contains = "this snippet appears nowhere"
+justification = "entry kept after the finding was fixed"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx003_clean.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert_eq!(outcome.stale_allows.len(), 1, "{:?}", outcome.stale_allows);
+    assert!(!outcome.is_clean(), "a stale [[allow]] must fail the gate");
+    assert!(
+        outcome.stale_allows[0].contains("BX003"),
+        "stale message names the rule: {}",
+        outcome.stale_allows[0]
+    );
+}
+
+#[test]
+fn live_suppression_keeps_the_gate_green() {
+    let toml = r#"
+[[allow]]
+rule = "BX003"
+path = "crates/fixture/src/lib.rs"
+justification = "fixture exercises documented contract panics"
+
+[[allow]]
+rule = "BX004"
+path = "crates/fixture/src/lib.rs"
+justification = "fixture exercises provably-safe casts"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx003_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert!(
+        outcome.unsuppressed.is_empty(),
+        "{:?}",
+        outcome.unsuppressed
+    );
+    assert_eq!(
+        outcome.stale_allows.len(),
+        1,
+        "the BX004 entry matches nothing in the BX003 fixture"
+    );
+    assert_eq!(outcome.suppressed.len(), 4);
+}

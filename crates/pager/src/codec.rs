@@ -1,9 +1,89 @@
-//! Fixed-layout little-endian block codecs.
+//! Fixed-layout little-endian block codecs and checked width conversions.
 //!
 //! Every on-"disk" node format in this workspace (LIDF records, W-BOX and
 //! B-BOX nodes, naive-k records) is a fixed layout of unsigned integers.
 //! [`Reader`] and [`Writer`] are thin cursors over a block buffer that keep
 //! the serialization code in the data-structure crates short and uniform.
+//!
+//! The conversion helpers ([`u32_to_usize`], [`usize_to_u64`],
+//! [`u64_to_index`], [`usize_to_u32`], [`usize_to_u16`]) exist so that
+//! label/offset arithmetic never goes through a bare `as` cast: the paper's
+//! label-size guarantees (Thm 4.4 / Thm 5.1) are stated in exact bit
+//! widths, and a silent truncation would void them. Widening directions are
+//! guarded by compile-time width assertions; narrowing directions either
+//! return a typed [`CastOverflow`] or saturate to a value that can only
+//! trip a bounds check, never alias a valid index.
+
+use std::fmt;
+
+/// A narrowing conversion did not fit the target width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CastOverflow {
+    /// The value that did not fit (widened for display).
+    pub value: u64,
+    /// The width it was being narrowed to, in bits.
+    pub target_bits: u32,
+}
+
+impl fmt::Display for CastOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} does not fit in {} bits",
+            self.value, self.target_bits
+        )
+    }
+}
+
+impl std::error::Error for CastOverflow {}
+
+/// Widen a `u32` (e.g. a raw [`BlockId`](crate::BlockId) value) to `usize`.
+/// Infallible: the workspace only targets platforms with at least 32-bit
+/// pointers, checked at compile time.
+#[inline]
+#[must_use]
+pub fn u32_to_usize(v: u32) -> usize {
+    const { assert!(usize::BITS >= 32) };
+    usize::try_from(v).unwrap_or(usize::MAX) // unreachable under the guard
+}
+
+/// Widen a `usize` (slot count, byte offset) to the `u64` domain labels
+/// live in. Infallible: pointers wider than 64 bits are rejected at
+/// compile time.
+#[inline]
+#[must_use]
+pub fn usize_to_u64(v: usize) -> u64 {
+    const { assert!(usize::BITS <= 64) };
+    u64::try_from(v).unwrap_or(u64::MAX) // unreachable under the guard
+}
+
+/// Narrow a `u64` quantity to a `usize` index, saturating on overflow.
+/// Saturation is deliberate: `usize::MAX` can only trip a slice bounds
+/// check, whereas a truncating cast would alias a *valid* index and
+/// corrupt data silently.
+#[inline]
+#[must_use]
+pub fn u64_to_index(v: u64) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Checked narrowing of a count/offset to the `u32` on-disk field width.
+#[inline]
+pub fn usize_to_u32(v: usize) -> Result<u32, CastOverflow> {
+    u32::try_from(v).map_err(|_| CastOverflow {
+        value: usize_to_u64(v),
+        target_bits: 32,
+    })
+}
+
+/// Checked narrowing of a count/offset to the `u16` on-disk field width.
+#[inline]
+pub fn usize_to_u16(v: usize) -> Result<u16, CastOverflow> {
+    u16::try_from(v).map_err(|_| CastOverflow {
+        value: usize_to_u64(v),
+        target_bits: 16,
+    })
+}
 
 /// Sequential little-endian reader over a byte slice.
 #[derive(Clone)]
@@ -171,5 +251,23 @@ mod tests {
     fn underrun_panics() {
         let buf = [0u8; 3];
         Reader::new(&buf).u32();
+    }
+
+    #[test]
+    fn checked_conversions() {
+        assert_eq!(u32_to_usize(u32::MAX), u32::MAX as usize);
+        assert_eq!(usize_to_u64(17), 17);
+        assert_eq!(u64_to_index(9), 9);
+        assert_eq!(
+            u64_to_index(u64::MAX),
+            usize::MAX,
+            "saturates, never aliases"
+        );
+        assert_eq!(usize_to_u16(65535), Ok(65535));
+        let err = usize_to_u16(65536).expect_err("must overflow");
+        assert_eq!(err.target_bits, 16);
+        assert_eq!(err.value, 65536);
+        assert_eq!(usize_to_u32(70_000), Ok(70_000));
+        assert!(usize_to_u32(usize::MAX).is_err() || usize::BITS <= 32);
     }
 }

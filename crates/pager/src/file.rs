@@ -33,14 +33,17 @@ impl FileStore {
         }
     }
 
+    /// Number of block slots ever created (allocated or freed).
     pub fn len(&self) -> usize {
         self.allocated.len()
     }
 
+    /// Is slot `idx` currently allocated?
     pub fn is_allocated(&self, idx: usize) -> bool {
         self.allocated.get(idx).copied().unwrap_or(false)
     }
 
+    /// Number of currently-allocated blocks.
     pub fn allocated_count(&self) -> usize {
         self.allocated.iter().filter(|&&a| a).count()
     }
@@ -54,27 +57,32 @@ impl FileStore {
     }
 
     fn seek_to(&mut self, idx: usize) {
+        let offset = crate::codec::usize_to_u64(idx.saturating_mul(self.block_size));
         self.file
-            .seek(SeekFrom::Start((idx * self.block_size) as u64))
+            .seek(SeekFrom::Start(offset))
             .expect("pager file seek failed");
     }
 
+    /// Append a fresh zero-filled block slot.
     pub fn push_zeroed(&mut self) {
         let idx = self.allocated.len();
         self.allocated.push(true);
         self.zero_fill(idx);
     }
 
+    /// Re-allocate a previously-freed slot, zeroing its contents.
     pub fn reuse_zeroed(&mut self, idx: usize) {
         assert!(!self.allocated[idx], "reuse of a live block");
         self.allocated[idx] = true;
         self.zero_fill(idx);
     }
 
+    /// Mark slot `idx` free; its bytes stay on disk until reuse.
     pub fn deallocate(&mut self, idx: usize) {
         self.allocated[idx] = false;
     }
 
+    /// Read the full block at slot `idx`.
     pub fn read(&mut self, idx: usize, block_size: usize) -> Box<[u8]> {
         assert!(self.is_allocated(idx), "read of unallocated block {idx}");
         let mut buf = vec![0u8; block_size];
@@ -85,6 +93,7 @@ impl FileStore {
         buf.into_boxed_slice()
     }
 
+    /// Write `data` over the block at slot `idx`.
     pub fn write(&mut self, idx: usize, data: &[u8]) {
         assert!(self.is_allocated(idx), "write to unallocated block {idx}");
         self.seek_to(idx);

@@ -30,7 +30,8 @@
 //! assert_eq!(pager.stats().writes, 1);
 //! ```
 
-mod codec;
+/// Block codecs and the workspace's checked width-conversion helpers.
+pub mod codec;
 mod file;
 mod pool;
 mod stats;
@@ -55,6 +56,13 @@ pub struct BlockId(pub u32);
 impl BlockId {
     /// Sentinel for "no block"; never returned by [`Pager::alloc`].
     pub const INVALID: BlockId = BlockId(u32::MAX);
+
+    /// The backing-store slot this id addresses (checked widening).
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        codec::u32_to_usize(self.0)
+    }
 
     /// Whether this id is the [`BlockId::INVALID`] sentinel.
     #[inline]
@@ -143,8 +151,8 @@ impl Backend {
 
     fn is_allocated(&self, id: BlockId) -> bool {
         match self {
-            Backend::Memory(blocks) => blocks.get(id.0 as usize).is_some_and(|b| b.is_some()),
-            Backend::File(f) => f.is_allocated(id.0 as usize),
+            Backend::Memory(blocks) => blocks.get(id.index()).is_some_and(|b| b.is_some()),
+            Backend::File(f) => f.is_allocated(id.index()),
         }
     }
 
@@ -158,35 +166,35 @@ impl Backend {
     fn reuse_zeroed(&mut self, id: BlockId, block_size: usize) {
         match self {
             Backend::Memory(blocks) => {
-                blocks[id.0 as usize] = Some(vec![0u8; block_size].into_boxed_slice())
+                blocks[id.index()] = Some(vec![0u8; block_size].into_boxed_slice())
             }
-            Backend::File(f) => f.reuse_zeroed(id.0 as usize),
+            Backend::File(f) => f.reuse_zeroed(id.index()),
         }
     }
 
     fn deallocate(&mut self, id: BlockId) {
         match self {
-            Backend::Memory(blocks) => blocks[id.0 as usize] = None,
-            Backend::File(f) => f.deallocate(id.0 as usize),
+            Backend::Memory(blocks) => blocks[id.index()] = None,
+            Backend::File(f) => f.deallocate(id.index()),
         }
     }
 
     fn read(&mut self, id: BlockId, block_size: usize) -> Box<[u8]> {
         match self {
             Backend::Memory(blocks) => blocks
-                .get(id.0 as usize)
+                .get(id.index())
                 .and_then(|b| b.as_deref())
                 .unwrap_or_else(|| panic!("read of unallocated {id:?}"))
                 .to_vec()
                 .into_boxed_slice(),
-            Backend::File(f) => f.read(id.0 as usize, block_size),
+            Backend::File(f) => f.read(id.index(), block_size),
         }
     }
 
     fn write(&mut self, id: BlockId, data: Box<[u8]>) {
         match self {
-            Backend::Memory(blocks) => blocks[id.0 as usize] = Some(data),
-            Backend::File(f) => f.write(id.0 as usize, &data),
+            Backend::Memory(blocks) => blocks[id.index()] = Some(data),
+            Backend::File(f) => f.write(id.index(), &data),
         }
     }
 
@@ -252,9 +260,12 @@ impl Pager {
             BlockId(idx)
         } else {
             let idx = inner.backend.len();
-            assert!(idx < u32::MAX as usize, "pager address space exhausted");
+            assert!(
+                idx < codec::u32_to_usize(u32::MAX),
+                "pager address space exhausted"
+            );
             inner.backend.push_zeroed(self.block_size);
-            BlockId(idx as u32)
+            BlockId(codec::usize_to_u32(idx).unwrap_or(u32::MAX))
         }
     }
 
@@ -336,6 +347,7 @@ impl Pager {
     }
 
     /// Snapshot of the I/O counters.
+    #[must_use]
     pub fn stats(&self) -> IoStats {
         self.inner.borrow().stats
     }
@@ -385,7 +397,7 @@ impl boxes_audit::Auditable for Pager {
         let mut seen = std::collections::HashSet::new();
         for (i, &id) in inner.free.iter().enumerate() {
             let path = format!("pager/free[{i}]");
-            if id as usize >= len {
+            if codec::u32_to_usize(id) >= len {
                 report.push(
                     Violation::new(ViolationKind::FreeListOverlap, path.clone())
                         .at_block(id)

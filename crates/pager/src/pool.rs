@@ -32,6 +32,7 @@ pub(crate) struct BufferPool {
 }
 
 impl BufferPool {
+    /// Pool with room for `capacity` frames (0 disables caching).
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
@@ -41,15 +42,18 @@ impl BufferPool {
         }
     }
 
+    /// Configured frame capacity.
     #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
 
+    /// Zero the hit/miss counters.
     pub fn reset_stats(&mut self) {
         self.stats = PoolStats::default();
     }
@@ -121,7 +125,7 @@ impl BufferPool {
             .iter()
             .min_by_key(|(_, f)| f.stamp)
             .map(|(id, _)| *id)?;
-        let frame = self.frames.remove(&victim).expect("victim vanished");
+        let frame = self.frames.remove(&victim)?;
         frame.dirty.then_some((victim, frame.data))
     }
 
@@ -145,10 +149,10 @@ impl BufferPool {
             .collect();
         dirty_ids
             .into_iter()
-            .map(|id| {
-                let frame = self.frames.get_mut(&id).expect("frame vanished");
+            .filter_map(|id| {
+                let frame = self.frames.get_mut(&id)?;
                 frame.dirty = false;
-                (id, frame.data.clone())
+                Some((id, frame.data.clone()))
             })
             .collect()
     }

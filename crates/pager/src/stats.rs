@@ -24,6 +24,7 @@ impl IoStats {
 
     /// Counter-wise difference `self - earlier`; use to cost one operation.
     #[inline]
+    #[must_use]
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
             reads: self.reads - earlier.reads,

@@ -25,6 +25,7 @@ pub(crate) struct LeafUnit {
 }
 
 impl LeafUnit {
+    /// A not-yet-persisted unit holding `recs`, with no tombstones.
     pub fn fresh(recs: Vec<LeafRecord>) -> Self {
         LeafUnit {
             block: None,
@@ -33,6 +34,8 @@ impl LeafUnit {
         }
     }
 
+    /// Weight as charged by the W-BOX balance invariant: live records plus
+    /// tombstones.
     pub fn weight(&self) -> u64 {
         self.recs.len() as u64 + self.tombstones as u64
     }

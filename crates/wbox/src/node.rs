@@ -17,6 +17,7 @@
 //! count, maintained for ordinal mode).
 
 use boxes_lidf::Lid;
+use boxes_pager::codec::{usize_to_u16, usize_to_u64};
 use boxes_pager::{BlockId, Reader, Writer};
 
 /// Bytes of the leaf header.
@@ -115,7 +116,7 @@ impl WNode {
         match self {
             WNode::Leaf {
                 recs, tombstones, ..
-            } => recs.len() as u64 + *tombstones as u64,
+            } => usize_to_u64(recs.len()) + u64::from(*tombstones),
             WNode::Internal { entries } => entries.iter().map(|e| e.weight).sum(),
         }
     }
@@ -123,7 +124,7 @@ impl WNode {
     /// Live records below this node.
     pub fn size(&self) -> u64 {
         match self {
-            WNode::Leaf { recs, .. } => recs.len() as u64,
+            WNode::Leaf { recs, .. } => usize_to_u64(recs.len()),
             WNode::Internal { entries } => entries.iter().map(|e| e.size).sum(),
         }
     }
@@ -186,13 +187,15 @@ impl WNode {
                 recs,
             } => {
                 w.u8(KIND_LEAF);
-                w.u16(recs.len() as u16);
+                // A leaf never exceeds the per-block fanout, which is far
+                // below u16::MAX for any supported block size.
+                w.u16(usize_to_u16(recs.len()).expect("leaf record count exceeds on-disk u16"));
                 w.u16(*tombstones);
                 w.u64(*range_lo);
                 for r in recs {
                     w.u64(r.lid.0);
                     if pair {
-                        w.u8(r.is_start as u8);
+                        w.u8(u8::from(r.is_start));
                         w.u64(r.partner_lid.0);
                         w.u32(r.partner.0);
                         w.u64(r.end_cache);
@@ -201,7 +204,11 @@ impl WNode {
             }
             WNode::Internal { entries } => {
                 w.u8(KIND_INTERNAL);
-                w.u16(entries.len() as u16);
+                // Internal fanout is bounded by the block size, well under
+                // the on-disk u16 count field.
+                w.u16(
+                    usize_to_u16(entries.len()).expect("internal entry count exceeds on-disk u16"),
+                );
                 for e in entries {
                     w.u32(e.child.0);
                     w.u16(e.subrange);
@@ -236,7 +243,7 @@ impl WNode {
         }
         let mut r = Reader::new(buf);
         let kind = r.u8();
-        let count = r.u16() as usize;
+        let count = usize::from(r.u16());
         match kind {
             KIND_LEAF => {
                 let entry = if pair {

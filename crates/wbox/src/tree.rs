@@ -28,7 +28,9 @@ pub struct WBoxCounters {
 
 /// One step of a root-to-leaf descent.
 pub(crate) struct PathStep {
+    /// Block holding the node at this step.
     pub id: BlockId,
+    /// Decoded node contents.
     pub node: WNode,
     /// Level of this node (leaves are level 0).
     pub level: usize,

@@ -9,10 +9,15 @@
 //! bulk-load and (b) abstract [`workload::UpdateStream`]s that a driver (in
 //! `boxes-core`) replays against any labeling scheme.
 
+/// Synthetic document generators (two-level, XMark-shaped, …).
 pub mod generate;
+/// A minimal non-validating XML parser for test corpora.
 pub mod parse;
+/// Tag-name interning.
 pub mod tags;
+/// The in-memory element tree.
 pub mod tree;
+/// Randomized update-stream builders replayed by the document driver.
 pub mod workload;
 
 pub use parse::{parse, ParseError};

@@ -17,10 +17,15 @@ impl std::fmt::Debug for ElementId {
 
 #[derive(Clone, Debug)]
 pub(crate) struct Element {
+    /// Element name.
     pub tag: String,
+    /// Parent element, `None` for the root.
     pub parent: Option<ElementId>,
+    /// Child elements in document order.
     pub children: Vec<ElementId>,
+    /// Attribute name/value pairs in source order.
     pub attributes: Vec<(String, String)>,
+    /// Concatenated character data.
     pub text: String,
     /// Set when the element is detached by [`XmlTree::remove_subtree`].
     pub dead: bool,

@@ -1,0 +1,87 @@
+//! The source-lint step: drive `boxes-lint` over the workspace, print
+//! human diagnostics, and drop the JSON report in `target/lint-report.json`.
+
+use std::path::Path;
+
+use boxes_lint::report::Outcome;
+
+/// Run the BX001–BX006 catalog against the `lint.toml` baseline. Prints
+/// every unsuppressed finding and every stale suppression; returns whether
+/// the gate is clean.
+pub(crate) fn run(root: &Path) -> bool {
+    let Some(outcome) = lint_workspace(root) else {
+        return false;
+    };
+    write_json_report(root, &outcome);
+    for d in &outcome.unsuppressed {
+        eprintln!("  {}", d.human());
+    }
+    for stale in &outcome.stale_allows {
+        eprintln!("  {stale}");
+    }
+    println!(
+        "  lint: {} file(s), {} finding(s) baselined, {} unsuppressed, {} stale \
+         suppression(s)",
+        outcome.files_scanned,
+        outcome.suppressed.len(),
+        outcome.unsuppressed.len(),
+        outcome.stale_allows.len()
+    );
+    outcome.is_clean()
+}
+
+/// `--baseline`: print ready-to-paste `[[allow]]` entries for the current
+/// unsuppressed findings. The justification is left as a TODO on purpose —
+/// the gate rejects entries without one, so each must be filled in by hand.
+pub(crate) fn emit_baseline(root: &Path) -> bool {
+    let Some(outcome) = lint_workspace(root) else {
+        return false;
+    };
+    if outcome.unsuppressed.is_empty() {
+        println!("# no unsuppressed findings — nothing to baseline");
+        return true;
+    }
+    for d in &outcome.unsuppressed {
+        println!("[[allow]]");
+        println!("rule = \"{}\"", d.rule);
+        println!("path = \"{}\"", d.path);
+        if !d.snippet.is_empty() {
+            println!(
+                "contains = \"{}\"",
+                d.snippet.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        println!("justification = \"TODO: why is this finding acceptable?\"");
+        println!();
+    }
+    true
+}
+
+fn lint_workspace(root: &Path) -> Option<Outcome> {
+    let config = match boxes_lint::load_config(root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("  lint: {e}");
+            return None;
+        }
+    };
+    match boxes_lint::lint_workspace(root, &config) {
+        Ok(o) => Some(o),
+        Err(e) => {
+            eprintln!("  lint: workspace scan failed: {e}");
+            None
+        }
+    }
+}
+
+fn write_json_report(root: &Path, outcome: &Outcome) {
+    let dir = root.join("target");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("  lint: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("lint-report.json");
+    if let Err(e) = std::fs::write(&path, outcome.to_json()) {
+        eprintln!("  lint: cannot write {}: {e}", path.display());
+    }
+}

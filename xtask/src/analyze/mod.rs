@@ -1,0 +1,109 @@
+//! The `analyze` command: orchestration of the workspace static-analysis
+//! gate. The individual passes live in the submodules —
+//! [`sweeps`] (crate-root attribute audits), [`lint`] (the `boxes-lint`
+//! source analyzer), and [`semantic`] (auditor-driven workload replay).
+
+mod lint;
+mod semantic;
+mod sweeps;
+
+use std::path::Path;
+use std::process::Command;
+
+/// Entry point for `cargo xtask analyze`. Returns the process exit code.
+pub(crate) fn analyze(args: &[String]) -> i32 {
+    let mut seed: u64 = 0xb0c5_ed01;
+    let mut skip_cargo = false;
+    let mut lint_only = false;
+    let mut baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer argument");
+                    return 2;
+                }
+            },
+            "--skip-cargo" => skip_cargo = true,
+            "--lint-only" => lint_only = true,
+            "--baseline" => baseline = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    let root = crate::workspace_root();
+
+    if baseline {
+        return i32::from(!lint::emit_baseline(&root));
+    }
+    if lint_only {
+        return i32::from(!lint::run(&root));
+    }
+
+    let mut failures = 0u32;
+    let mut step = |name: &str, ok: bool| {
+        println!("analyze: {name:<24} {}", if ok { "ok" } else { "FAILED" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    if skip_cargo {
+        println!("analyze: fmt/clippy skipped (--skip-cargo)");
+    } else {
+        step("cargo fmt --check", run_fmt_check(&root));
+        step("cargo clippy", run_clippy(&root));
+    }
+    step("unsafe-code audit", sweeps::audit_unsafe(&root));
+    step("missing_docs sweep", sweeps::audit_missing_docs(&root));
+    step("source lint", lint::run(&root));
+    step("semantic lint", semantic::semantic_lint(seed));
+
+    if failures == 0 {
+        println!("analyze: all checks passed");
+        0
+    } else {
+        eprintln!("analyze: {failures} check(s) failed");
+        1
+    }
+}
+
+fn run_fmt_check(root: &Path) -> bool {
+    run_cargo(root, &["fmt", "--all", "--check"])
+}
+
+fn run_clippy(root: &Path) -> bool {
+    run_cargo(
+        root,
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+            "-D",
+            "clippy::dbg_macro",
+            "-D",
+            "clippy::todo",
+            "-D",
+            "clippy::unimplemented",
+        ],
+    )
+}
+
+fn run_cargo(root: &Path, args: &[&str]) -> bool {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    match Command::new(cargo).args(args).current_dir(root).status() {
+        Ok(status) => status.success(),
+        Err(e) => {
+            eprintln!("analyze: failed to spawn cargo {}: {e}", args.join(" "));
+            false
+        }
+    }
+}

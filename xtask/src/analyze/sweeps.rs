@@ -1,0 +1,97 @@
+//! Crate-root attribute audits: `#![forbid(unsafe_code)]` everywhere, no
+//! `unsafe` tokens anywhere, and `#![warn(missing_docs)]` on every crate
+//! root. Per-item documentation coverage is enforced token-aware by the
+//! source lint's BX006; these sweeps keep the compiler-level lints pinned.
+
+use std::path::{Path, PathBuf};
+
+/// Every `.rs` file under the workspace's `crates/` and `xtask/` trees.
+/// (`third_party/` holds vendored offline API stubs and is exempt.)
+fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "xtask", "tests"] {
+        collect_rs(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Crate roots that must carry the workspace-wide inner attributes.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.push(root.join("xtask/src/main.rs"));
+    roots.sort();
+    roots
+}
+
+/// Every crate root forbids unsafe code and no source line contains an
+/// `unsafe` form outside comments.
+pub(crate) fn audit_unsafe(root: &Path) -> bool {
+    let mut ok = true;
+    for lib in crate_roots(root) {
+        let text = std::fs::read_to_string(&lib).unwrap_or_default();
+        if !text.contains("#![forbid(unsafe_code)]") {
+            eprintln!("  {} lacks #![forbid(unsafe_code)]", lib.display());
+            ok = false;
+        }
+    }
+    // Belt and braces: no unsafe blocks/fns/impls in any source line
+    // outside comments. The keyword is assembled at runtime so this
+    // scanner does not flag its own source.
+    let kw = concat!("un", "safe");
+    let forms: Vec<String> = ["fn", "{", "impl", "trait", "extern"]
+        .iter()
+        .map(|f| format!("{kw} {f}"))
+        .collect();
+    for path in source_files(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for (i, line) in text.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            if forms.iter().any(|f| code.contains(f.as_str())) {
+                eprintln!("  {}:{}: {kw} code found", path.display(), i + 1);
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Every crate root opts into the compiler's `missing_docs` lint.
+pub(crate) fn audit_missing_docs(root: &Path) -> bool {
+    let mut ok = true;
+    for lib in crate_roots(root) {
+        let text = std::fs::read_to_string(&lib).unwrap_or_default();
+        if !text.contains("#![warn(missing_docs)]") {
+            eprintln!("  {} lacks #![warn(missing_docs)]", lib.display());
+            ok = false;
+        }
+    }
+    ok
+}

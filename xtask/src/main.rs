@@ -13,7 +13,14 @@
 //!    token outside comments;
 //! 4. a `missing_docs` sweep: every crate root must carry
 //!    `#![warn(missing_docs)]`;
-//! 5. a **semantic lint**: the [`boxes_audit::Auditable`] auditors are run
+//! 5. the **source lint**: the `boxes-lint` BX001–BX006 rule catalog
+//!    (pager I/O discipline, filesystem containment, panic freedom, cast
+//!    safety, `#[must_use]` reports, public-item docs) over every crate,
+//!    against the checked-in `lint.toml` baseline. The JSON report lands in
+//!    `target/lint-report.json`. `--lint-only` runs just this step;
+//!    `--baseline` prints suggested suppression entries for the current
+//!    unsuppressed findings.
+//! 6. a **semantic lint**: the [`boxes_audit::Auditable`] auditors are run
 //!    over randomized `boxes_xml::workload` update streams after every
 //!    operation, failing on any [`boxes_audit::Violation`]. The run also
 //!    performs a negative control — a block is deliberately corrupted
@@ -22,27 +29,18 @@
 //!
 //! Exit status is zero only when every step passes.
 
-use std::path::{Path, PathBuf};
-use std::process::Command;
+mod analyze;
 
-use boxes_audit::Auditable;
-use boxes_core::bbox::{BBox, BBoxConfig};
-use boxes_core::driver::partner_map;
-use boxes_core::pager::{BlockId, Pager, PagerConfig};
-use boxes_core::wbox::{WBox, WBoxConfig};
-use boxes_core::xml::generate::{two_level, xmark};
-use boxes_core::xml::workload::{
-    concentrated, document_order, insert_delete_churn_with_prefill, scattered, UpdateStream,
-};
-use boxes_core::{BBoxScheme, CachedBBox, CachedOrdinal, CachedWBox, DocumentDriver, WBoxScheme};
-use boxes_core::{LabelingScheme, OrdinalScheme};
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("analyze") => analyze(&args[1..]),
+        Some("analyze") => analyze::analyze(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask analyze [--seed N] [--skip-cargo]");
+            eprintln!(
+                "usage: cargo xtask analyze [--seed N] [--skip-cargo] [--lint-only] [--baseline]"
+            );
             2
         }
     };
@@ -55,442 +53,4 @@ fn workspace_root() -> PathBuf {
         .parent()
         .expect("xtask lives one level below the workspace root")
         .to_path_buf()
-}
-
-fn analyze(args: &[String]) -> i32 {
-    let mut seed: u64 = 0xb0c5_ed01;
-    let mut skip_cargo = false;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(s) => seed = s,
-                None => {
-                    eprintln!("--seed needs an integer argument");
-                    return 2;
-                }
-            },
-            "--skip-cargo" => skip_cargo = true,
-            other => {
-                eprintln!("unknown argument `{other}`");
-                return 2;
-            }
-        }
-    }
-
-    let root = workspace_root();
-    let mut failures = 0u32;
-    let mut step = |name: &str, ok: bool| {
-        println!("analyze: {name:<24} {}", if ok { "ok" } else { "FAILED" });
-        if !ok {
-            failures += 1;
-        }
-    };
-
-    if skip_cargo {
-        println!("analyze: fmt/clippy skipped (--skip-cargo)");
-    } else {
-        step("cargo fmt --check", run_fmt_check(&root));
-        step("cargo clippy", run_clippy(&root));
-    }
-    step("unsafe-code audit", audit_unsafe(&root));
-    step("missing_docs sweep", audit_missing_docs(&root));
-    step("semantic lint", semantic_lint(seed));
-
-    if failures == 0 {
-        println!("analyze: all checks passed");
-        0
-    } else {
-        eprintln!("analyze: {failures} check(s) failed");
-        1
-    }
-}
-
-// ---------------------------------------------------------------- cargo steps
-
-fn run_fmt_check(root: &Path) -> bool {
-    run_cargo(root, &["fmt", "--all", "--check"])
-}
-
-fn run_clippy(root: &Path) -> bool {
-    run_cargo(
-        root,
-        &[
-            "clippy",
-            "--workspace",
-            "--all-targets",
-            "--",
-            "-D",
-            "warnings",
-            "-D",
-            "clippy::dbg_macro",
-            "-D",
-            "clippy::todo",
-            "-D",
-            "clippy::unimplemented",
-        ],
-    )
-}
-
-fn run_cargo(root: &Path, args: &[&str]) -> bool {
-    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    match Command::new(cargo).args(args).current_dir(root).status() {
-        Ok(status) => status.success(),
-        Err(e) => {
-            eprintln!("analyze: failed to spawn cargo {}: {e}", args.join(" "));
-            false
-        }
-    }
-}
-
-// ------------------------------------------------------------- source audits
-
-/// Every `.rs` file under the workspace's `crates/` and `xtask/` trees.
-/// (`third_party/` holds vendored offline API stubs and is exempt.)
-fn source_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    for top in ["crates", "xtask", "tests"] {
-        collect_rs(&root.join(top), &mut out);
-    }
-    out.sort();
-    out
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Crate roots that must carry the workspace-wide inner attributes.
-fn crate_roots(root: &Path) -> Vec<PathBuf> {
-    let mut roots = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            let lib = entry.path().join("src/lib.rs");
-            if lib.is_file() {
-                roots.push(lib);
-            }
-        }
-    }
-    roots.push(root.join("xtask/src/main.rs"));
-    roots.sort();
-    roots
-}
-
-fn audit_unsafe(root: &Path) -> bool {
-    let mut ok = true;
-    for lib in crate_roots(root) {
-        let text = std::fs::read_to_string(&lib).unwrap_or_default();
-        if !text.contains("#![forbid(unsafe_code)]") {
-            eprintln!("  {} lacks #![forbid(unsafe_code)]", lib.display());
-            ok = false;
-        }
-    }
-    // Belt and braces: no unsafe blocks/fns/impls in any source line
-    // outside comments. The keyword is assembled at runtime so this
-    // scanner does not flag its own source.
-    let kw = concat!("un", "safe");
-    let forms: Vec<String> = ["fn", "{", "impl", "trait", "extern"]
-        .iter()
-        .map(|f| format!("{kw} {f}"))
-        .collect();
-    for path in source_files(root) {
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        for (i, line) in text.lines().enumerate() {
-            let code = line.split("//").next().unwrap_or("");
-            if forms.iter().any(|f| code.contains(f.as_str())) {
-                eprintln!("  {}:{}: {kw} code found", path.display(), i + 1);
-                ok = false;
-            }
-        }
-    }
-    ok
-}
-
-fn audit_missing_docs(root: &Path) -> bool {
-    let mut ok = true;
-    for lib in crate_roots(root) {
-        let text = std::fs::read_to_string(&lib).unwrap_or_default();
-        if !text.contains("#![warn(missing_docs)]") {
-            eprintln!("  {} lacks #![warn(missing_docs)]", lib.display());
-            ok = false;
-        }
-    }
-    ok
-}
-
-// ------------------------------------------------------------- semantic lint
-
-/// splitmix64: cheap deterministic stream of sub-seeds.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Replay `stream` on `scheme`, auditing after every operation; returns an
-/// error description naming the first op whose audit was not clean.
-fn drive_with_audit<S: LabelingScheme + Auditable>(
-    label: &str,
-    scheme: S,
-    stream: &UpdateStream,
-) -> Result<(), String> {
-    let report = scheme.audit();
-    if !report.is_clean() {
-        return Err(format!("{label}: dirty before load:\n{report}"));
-    }
-    let mut driver = DocumentDriver::load(scheme, &stream.base);
-    let report = driver.scheme.audit();
-    if !report.is_clean() {
-        return Err(format!("{label}: dirty after bulk load:\n{report}"));
-    }
-    for (i, op) in stream.ops.iter().enumerate() {
-        driver.apply(op);
-        let report = driver.scheme.audit();
-        if !report.is_clean() {
-            return Err(format!("{label}: dirty after op {i}:\n{report}"));
-        }
-    }
-    driver.verify_document_order();
-    Ok(())
-}
-
-/// Negative control: corrupt one allocated block behind the auditor's back
-/// and demand a *reported* (not panicked) violation. A clean report means
-/// the auditor has gone blind, which must itself fail the gate.
-fn corruption_control() -> Result<(), String> {
-    let audit_must_flag = |what: &str, report: Option<boxes_audit::AuditReport>| match report {
-        None => Err(format!("{what} auditor panicked on a garbage block")),
-        Some(r) if r.is_clean() => Err(format!("{what} auditor missed a garbage-filled block")),
-        Some(_) => Ok(()),
-    };
-
-    // W-BOX: trash an allocated block with garbage bytes.
-    let pager = Pager::new(PagerConfig::with_block_size(1024));
-    let mut wbox = WBox::new(pager.clone(), WBoxConfig::from_block_size(1024));
-    let _lids = wbox.bulk_load(500);
-    let victim = (0..u32::MAX)
-        .map(BlockId)
-        .find(|id| pager.is_allocated(*id))
-        .expect("a 500-record W-BOX allocates blocks");
-    pager.write(victim, &vec![0xA5u8; 1024]);
-    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wbox.audit())).ok();
-    audit_must_flag("W-BOX", report)?;
-
-    // B-BOX: same, through its own pager.
-    let pager = Pager::new(PagerConfig::with_block_size(256));
-    let mut bbox = BBox::new(pager.clone(), BBoxConfig::from_block_size(256));
-    let _lids = bbox.bulk_load(500);
-    let victim = (0..u32::MAX)
-        .map(BlockId)
-        .find(|id| pager.is_allocated(*id))
-        .expect("a 500-record B-BOX allocates blocks");
-    pager.write(victim, &vec![0x5Au8; 256]);
-    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bbox.audit())).ok();
-    audit_must_flag("B-BOX", report)?;
-    Ok(())
-}
-
-/// Drive every §6 cached wrapper with checkpointed anchors, auditing the
-/// replay consistency after each mutation.
-fn cached_wrapper_lint(seed: u64) -> Result<(), String> {
-    let mut state = seed;
-
-    // CachedWBox over flat labels.
-    let pager = Pager::new(PagerConfig::with_block_size(1024));
-    let mut wbox = WBox::new(pager, WBoxConfig::from_block_size(1024));
-    let lids = wbox.bulk_load(200);
-    let mut cached = CachedWBox::new(wbox, 16);
-    let anchors: Vec<_> = lids.iter().step_by(23).copied().collect();
-    cached.checkpoint(&anchors);
-    let mut cursors: Vec<_> = lids.iter().step_by(11).copied().collect();
-    for i in 0..120 {
-        let r = splitmix64(&mut state) as usize;
-        if i % 3 == 2 && cursors.len() > 4 {
-            cached.delete(cursors.swap_remove(r % cursors.len()));
-        } else {
-            let at = cursors[r % cursors.len()];
-            cursors.push(cached.insert_before(at));
-        }
-        let report = cached.audit();
-        if !report.is_clean() {
-            return Err(format!("cached-wbox: dirty after mutation {i}:\n{report}"));
-        }
-    }
-
-    // CachedBBox over path labels.
-    let pager = Pager::new(PagerConfig::with_block_size(256));
-    let mut bbox = BBox::new(pager, BBoxConfig::from_block_size(256));
-    let lids = bbox.bulk_load(200);
-    let mut cached = CachedBBox::new(bbox, 16);
-    let anchors: Vec<_> = lids.iter().step_by(19).copied().collect();
-    cached.checkpoint(&anchors);
-    let mut cursors: Vec<_> = lids.iter().step_by(7).copied().collect();
-    for i in 0..120 {
-        let r = splitmix64(&mut state) as usize;
-        if i % 4 == 3 && cursors.len() > 4 {
-            cached.delete(cursors.swap_remove(r % cursors.len()));
-        } else {
-            let at = cursors[r % cursors.len()];
-            cursors.push(cached.insert_before(at));
-        }
-        let report = cached.audit();
-        if !report.is_clean() {
-            return Err(format!("cached-bbox: dirty after mutation {i}:\n{report}"));
-        }
-    }
-
-    // CachedOrdinal over both ordinal-capable schemes.
-    cached_ordinal_lint(
-        "cached-ordinal/wbox",
-        WBoxScheme::new(
-            Pager::new(PagerConfig::with_block_size(1024)),
-            WBoxConfig::from_block_size(1024).with_ordinal(),
-        ),
-        &mut state,
-    )?;
-    cached_ordinal_lint(
-        "cached-ordinal/bbox",
-        BBoxScheme::new(
-            Pager::new(PagerConfig::with_block_size(256)),
-            BBoxConfig::from_block_size(256).with_ordinal(),
-        ),
-        &mut state,
-    )?;
-    Ok(())
-}
-
-fn cached_ordinal_lint<S: OrdinalScheme + Auditable>(
-    label: &str,
-    mut scheme: S,
-    state: &mut u64,
-) -> Result<(), String> {
-    let lids = scheme.bulk_load_document(&partner_map(&two_level(75)));
-    let mut cached = CachedOrdinal::new(scheme, 12);
-    let anchors: Vec<_> = lids.iter().step_by(17).copied().collect();
-    cached.checkpoint(&anchors);
-    let mut cursors: Vec<_> = lids.iter().step_by(5).copied().collect();
-    for i in 0..100 {
-        let r = splitmix64(state) as usize;
-        if i % 5 == 4 && cursors.len() > 4 {
-            cached.delete(cursors.swap_remove(r % cursors.len()));
-        } else {
-            let at = cursors[r % cursors.len()];
-            cursors.push(cached.insert_before(at));
-        }
-        let report = cached.audit();
-        if !report.is_clean() {
-            return Err(format!("{label}: dirty after mutation {i}:\n{report}"));
-        }
-    }
-    Ok(())
-}
-
-fn semantic_lint(seed: u64) -> bool {
-    let mut state = seed;
-    let jitter = |state: &mut u64, lo: usize, span: usize| lo + (splitmix64(state) as usize) % span;
-
-    let mut checks: Vec<(String, Result<(), String>)> = Vec::new();
-
-    // W-BOX, plain labels, scattered single inserts.
-    let (base, ins) = (jitter(&mut state, 250, 100), jitter(&mut state, 80, 40));
-    checks.push((
-        format!("wbox/scattered({base},{ins})"),
-        drive_with_audit(
-            "wbox/scattered",
-            WBoxScheme::with_block_size(1024),
-            &scattered(base, ins),
-        ),
-    ));
-
-    // W-BOX with the pair optimization, concentrated subtree growth.
-    let (base, sub) = (jitter(&mut state, 150, 80), jitter(&mut state, 60, 40));
-    checks.push((
-        format!("wbox-pair/concentrated({base},{sub})"),
-        drive_with_audit(
-            "wbox-pair/concentrated",
-            WBoxScheme::new(
-                Pager::new(PagerConfig::with_block_size(1024)),
-                WBoxConfig::from_block_size_paired(1024),
-            ),
-            &concentrated(base, sub),
-        ),
-    ));
-
-    // W-BOX-O under insert/delete churn (exercises tombstones + rebuild).
-    let rounds = jitter(&mut state, 80, 60);
-    checks.push((
-        format!("wbox-ordinal/churn({rounds})"),
-        drive_with_audit(
-            "wbox-ordinal/churn",
-            WBoxScheme::new(
-                Pager::new(PagerConfig::with_block_size(1024)),
-                WBoxConfig::from_block_size(1024).with_ordinal(),
-            ),
-            &insert_delete_churn_with_prefill(120, rounds, 40),
-        ),
-    ));
-
-    // B-BOX over a randomized XMark document replayed in document order.
-    let doc_seed = splitmix64(&mut state);
-    let doc = xmark(jitter(&mut state, 500, 300), doc_seed);
-    checks.push((
-        format!("bbox/xmark(seed={doc_seed:#x})"),
-        drive_with_audit(
-            "bbox/xmark",
-            BBoxScheme::with_block_size(256),
-            &document_order(&doc, 0),
-        ),
-    ));
-
-    // B-BOX-O under churn (exercises borrow/merge + size maintenance).
-    let rounds = jitter(&mut state, 80, 60);
-    checks.push((
-        format!("bbox-ordinal/churn({rounds})"),
-        drive_with_audit(
-            "bbox-ordinal/churn",
-            BBoxScheme::new(
-                Pager::new(PagerConfig::with_block_size(256)),
-                BBoxConfig::from_block_size(256).with_ordinal(),
-            ),
-            &insert_delete_churn_with_prefill(120, rounds, 40),
-        ),
-    ));
-
-    // §6 cached wrappers with checkpointed replay consistency.
-    checks.push((
-        "cached-wrappers".into(),
-        cached_wrapper_lint(splitmix64(&mut state)),
-    ));
-
-    // The auditors themselves must still see deliberate corruption.
-    checks.push(("corruption-control".into(), corruption_control()));
-
-    let mut ok = true;
-    for (name, result) in checks {
-        match result {
-            Ok(()) => println!("  semantic: {name:<40} ok"),
-            Err(msg) => {
-                eprintln!("  semantic: {name:<40} FAILED\n{msg}");
-                ok = false;
-            }
-        }
-    }
-    ok
 }
