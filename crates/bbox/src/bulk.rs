@@ -46,6 +46,10 @@ impl BBox {
     /// Bulk load `count` labels in document order into an empty B-BOX.
     /// O(N/B) I/Os. Returns the LIDs in document order.
     pub fn bulk_load(&mut self, count: usize) -> Vec<Lid> {
+        self.journaled(|t| t.bulk_load_impl(count))
+    }
+
+    fn bulk_load_impl(&mut self, count: usize) -> Vec<Lid> {
         assert!(self.is_empty(), "bulk_load on a non-empty B-BOX");
         if count == 0 {
             return Vec::new();

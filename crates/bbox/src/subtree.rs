@@ -30,6 +30,10 @@ impl BBox {
     /// Insert `n_tags` new labels immediately before `lid_old` as one bulk
     /// operation. Returns the new LIDs in document order.
     pub fn insert_subtree_before(&mut self, lid_old: Lid, n_tags: usize) -> Vec<Lid> {
+        self.journaled(|t| t.insert_subtree_before_impl(lid_old, n_tags))
+    }
+
+    fn insert_subtree_before_impl(&mut self, lid_old: Lid, n_tags: usize) -> Vec<Lid> {
         if n_tags == 0 {
             return Vec::new();
         }
@@ -244,6 +248,10 @@ impl BBox {
     /// `end_lid` (the start/end tags of a subtree root), reclaiming tree
     /// blocks and LIDF records.
     pub fn delete_subtree(&mut self, start_lid: Lid, end_lid: Lid) {
+        self.journaled(|t| t.delete_subtree_impl(start_lid, end_lid));
+    }
+
+    fn delete_subtree_impl(&mut self, start_lid: Lid, end_lid: Lid) {
         assert_ne!(start_lid, end_lid, "a subtree has two distinct endpoints");
         let leaf_s = self.lidf_read_block(start_lid);
         let leaf_e = self.lidf_read_block(end_lid);

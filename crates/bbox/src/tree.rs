@@ -65,6 +65,7 @@ impl BBox {
     /// Create an empty B-BOX on the shared pager.
     pub fn new(pager: SharedPager, config: BBoxConfig) -> Self {
         config.validate();
+        let txn = pager.txn();
         let lidf = Lidf::new(pager.clone());
         let root = pager.alloc();
         let node = Node::leaf(BlockId::INVALID);
@@ -80,7 +81,58 @@ impl BBox {
             changes: Vec::new(),
         };
         this.write_node(root, &node);
+        this.pager.txn_meta("bbox", || this.save_state());
+        this.pager.txn_meta("lidf", || this.lidf.save_state());
+        txn.commit();
         this
+    }
+
+    /// Reconstruct a B-BOX from its `"bbox"` and `"lidf"` state blobs over a
+    /// recovered pager. `config` must match the build-time configuration.
+    /// Transient observability state — [`BBoxCounters`], the freed-block log,
+    /// and the §6 change log — restarts empty; the caching layer realigns
+    /// its mod-log to the recovered checkpoint timestamp instead.
+    pub fn reopen(pager: SharedPager, config: BBoxConfig, state: &[u8], lidf_state: &[u8]) -> Self {
+        config.validate();
+        let lidf = Lidf::reopen(pager.clone(), lidf_state);
+        let mut r = boxes_pager::Reader::new(state);
+        let root = BlockId(r.u32());
+        let height = boxes_pager::codec::u64_to_index(r.u64());
+        let len = r.u64();
+        assert!(pager.is_allocated(root), "recovered B-BOX root unallocated");
+        Self {
+            pager,
+            lidf,
+            config,
+            root,
+            height,
+            len,
+            counters: BBoxCounters::default(),
+            freed_log: Vec::new(),
+            changes: Vec::new(),
+        }
+    }
+
+    /// Serialize the in-memory header — everything [`BBox::reopen`] needs
+    /// beyond the blocks themselves and the LIDF's own `"lidf"` blob.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = boxes_pager::VecWriter::new();
+        w.u32(self.root.0);
+        w.u64(boxes_pager::codec::usize_to_u64(self.height));
+        w.u64(self.len);
+        w.into_bytes()
+    }
+
+    /// Run `f` as one journaled operation: all blocks it dirties (splits,
+    /// merges, borrows, subtree grafts) commit as a single atomic WAL
+    /// record carrying the refreshed `"bbox"` state blob.
+    pub(crate) fn journaled<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let txn = self.pager.txn();
+        let out = f(self);
+        let state = self.save_state();
+        self.pager.txn_meta("bbox", || state);
+        txn.commit();
+        out
     }
 
     // ----- node I/O ------------------------------------------------------
@@ -384,6 +436,10 @@ impl BBox {
 
     /// Insert the very first label into an empty B-BOX.
     pub fn insert_first(&mut self) -> Lid {
+        self.journaled(|t| t.insert_first_impl())
+    }
+
+    fn insert_first_impl(&mut self) -> Lid {
         assert!(self.is_empty(), "insert_first on a non-empty B-BOX");
         let lid = self.lidf.alloc(BlockPtrRecord::new(self.root));
         let mut node = self.read_node(self.root);
@@ -395,6 +451,10 @@ impl BBox {
 
     /// Insert a new label immediately before `lid_old`. Returns the new LID.
     pub fn insert_before(&mut self, lid_old: Lid) -> Lid {
+        self.journaled(|t| t.insert_before_impl(lid_old))
+    }
+
+    fn insert_before_impl(&mut self, lid_old: Lid) -> Lid {
         let leaf_id = self.lidf.read(lid_old).block;
         let leaf = self.read_node(leaf_id);
         let pos = leaf.position_of_lid(lid_old);
@@ -407,9 +467,11 @@ impl BBox {
     /// Insert a new element (start and end labels) before the tag labeled
     /// `lid`, per §3: end label first, then start label before it.
     pub fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid) {
-        let end = self.insert_before(lid);
-        let start = self.insert_before(end);
-        (start, end)
+        self.journaled(|t| {
+            let end = t.insert_before_impl(lid);
+            let start = t.insert_before_impl(end);
+            (start, end)
+        })
     }
 
     pub(crate) fn insert_at(&mut self, leaf_id: BlockId, mut leaf: Node, pos: usize, new_lid: Lid) {
@@ -558,6 +620,10 @@ impl BBox {
 
     /// Remove the label identified by `lid`, reclaiming its LIDF record.
     pub fn delete(&mut self, lid: Lid) {
+        self.journaled(|t| t.delete_impl(lid));
+    }
+
+    fn delete_impl(&mut self, lid: Lid) {
         let leaf_id = self.lidf.read(lid).block;
         let mut leaf = self.read_node(leaf_id);
         let pos = leaf.position_of_lid(lid);

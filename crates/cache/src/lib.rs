@@ -69,6 +69,32 @@ impl<E> ModLog<E> {
         }
     }
 
+    /// Resume a log at an externally recovered `clock` with no retained
+    /// entries — the crash-recovery alignment path. After WAL recovery the
+    /// effect entries are gone with the process, so a reference stamped
+    /// before `clock` is *not covered* and correctly falls back to a full
+    /// lookup, while a reference stamped exactly at `clock` (the last
+    /// durably committed modification) still hits: its cached value is
+    /// committed state. `clock` must be the mod-log timestamp recorded in
+    /// the recovered checkpoint, never a guess.
+    pub fn with_clock(capacity: usize, clock: Timestamp) -> Self {
+        ModLog {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            clock,
+        }
+    }
+
+    /// Roll the log back to `ts`: drop every entry recorded after it and
+    /// rewind the clock. Used when the structure was rolled back to an
+    /// earlier committed state (a torn WAL tail): effects of rolled-back
+    /// modifications must not be replayed into caches.
+    pub fn truncate_after(&mut self, ts: Timestamp) {
+        assert!(ts <= self.clock, "cannot roll the mod-log forward");
+        self.entries.retain(|(t, _)| *t <= ts);
+        self.clock = ts;
+    }
+
     /// The timestamp of the most recent modification.
     pub fn last_modified(&self) -> Timestamp {
         self.clock
@@ -579,6 +605,55 @@ mod tests {
             log.record(OrdinalEffect::shift(0, 1));
         }
         assert!(r.resolve_readonly(&log).is_none());
+    }
+
+    #[test]
+    fn resumed_log_forces_full_lookup_for_stale_stamps() {
+        // Pre-crash: a reference cached at ts 3, another at ts 5 (the last
+        // committed modification). The crash destroys the log entries.
+        let mut pre = ModLog::new(8);
+        let mut early = CachedRef::new();
+        early.resolve(&pre, || 10u64);
+        for _ in 0..3 {
+            pre.record(OrdinalEffect::shift(0, 1));
+        }
+        let mut late = CachedRef::new();
+        late.resolve(&pre, || 13u64);
+        pre.record(OrdinalEffect::shift(0, 1));
+        pre.record(OrdinalEffect::shift(0, 1));
+        let mut at_commit = CachedRef::new();
+        at_commit.resolve(&pre, || 15u64);
+        // Recovery: resume at the committed clock with no entries.
+        let resumed: ModLog<OrdinalEffect> = ModLog::with_clock(8, pre.last_modified());
+        assert_eq!(early.resolve(&resumed, || 99), Lookup::Full(99));
+        assert_eq!(late.resolve(&resumed, || 98), Lookup::Full(98));
+        // The reference stamped at the committed clock still hits: its
+        // cached value is committed state.
+        assert_eq!(
+            at_commit.resolve(&resumed, || unreachable!()),
+            Lookup::Hit(15)
+        );
+    }
+
+    #[test]
+    fn truncate_after_drops_rolled_back_effects() {
+        let mut log = ModLog::new(8);
+        let mut r = CachedRef::new();
+        r.resolve(&log, || 100u64);
+        let committed = log.record(OrdinalEffect::shift(0, 1)); // survives
+        log.record(OrdinalEffect::shift(0, 50)); // rolled back by recovery
+        log.truncate_after(committed);
+        assert_eq!(log.last_modified(), committed);
+        assert_eq!(log.len(), 1);
+        // Replay applies only the committed effect.
+        assert_eq!(r.resolve(&log, || unreachable!()), Lookup::Replayed(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "roll the mod-log forward")]
+    fn truncate_after_rejects_future_timestamps() {
+        let mut log: ModLog<OrdinalEffect> = ModLog::new(2);
+        log.truncate_after(5);
     }
 
     #[test]

@@ -52,6 +52,8 @@
 pub mod cached;
 /// Document driver: replays update streams against a labeling scheme.
 pub mod driver;
+/// WAL-journaled environments, crash injection, and scheme reopening.
+pub mod durable;
 mod faults;
 /// End-to-end labeler facade combining a scheme with a document tree.
 pub mod labeler;
@@ -60,6 +62,7 @@ pub mod scheme;
 
 pub use cached::{CachedBBox, CachedOrdinal, CachedWBox};
 pub use driver::DocumentDriver;
+pub use durable::{reopen_bbox, reopen_lidf, reopen_naive, reopen_wbox, DurableEnv};
 pub use labeler::ElementLabeler;
 pub use scheme::{BBoxScheme, LabelingScheme, NaiveScheme, OrdinalScheme, WBoxScheme};
 
@@ -69,5 +72,6 @@ pub use boxes_cache as cache;
 pub use boxes_lidf as lidf;
 pub use boxes_naive as naive;
 pub use boxes_pager as pager;
+pub use boxes_wal as wal;
 pub use boxes_wbox as wbox;
 pub use boxes_xml as xml;

@@ -93,6 +93,15 @@ impl WBoxScheme {
         }
     }
 
+    /// Reattach to the on-disk image of a previously committed W-BOX:
+    /// `state`/`lidf_state` are the `"wbox"`/`"lidf"` meta blobs recovered
+    /// from the WAL (see `boxes_wal::recover`).
+    pub fn reopen(pager: SharedPager, config: WBoxConfig, state: &[u8], lidf_state: &[u8]) -> Self {
+        WBoxScheme {
+            inner: WBox::reopen(pager, config, state, lidf_state),
+        }
+    }
+
     /// The underlying structure.
     pub fn inner(&self) -> &WBox {
         &self.inner
@@ -209,6 +218,15 @@ impl BBoxScheme {
         }
     }
 
+    /// Reattach to the on-disk image of a previously committed B-BOX:
+    /// `state`/`lidf_state` are the `"bbox"`/`"lidf"` meta blobs recovered
+    /// from the WAL (see `boxes_wal::recover`).
+    pub fn reopen(pager: SharedPager, config: BBoxConfig, state: &[u8], lidf_state: &[u8]) -> Self {
+        BBoxScheme {
+            inner: BBox::reopen(pager, config, state, lidf_state),
+        }
+    }
+
     /// The underlying structure.
     pub fn inner(&self) -> &BBox {
         &self.inner
@@ -307,9 +325,24 @@ impl NaiveScheme {
     /// naive-k with the given extra bits, caching off.
     pub fn with_block_size(block_size: usize, extra_bits: u32) -> Self {
         let pager = Pager::new(PagerConfig::with_block_size(block_size));
+        Self::new(pager, NaiveConfig { extra_bits })
+    }
+
+    /// naive-k on an existing pager with explicit parameters.
+    pub fn new(pager: SharedPager, config: NaiveConfig) -> Self {
         NaiveScheme {
-            inner: NaiveLabeling::new(pager, NaiveConfig { extra_bits }),
-            extra_bits,
+            extra_bits: config.extra_bits,
+            inner: NaiveLabeling::new(pager, config),
+        }
+    }
+
+    /// Reattach to the on-disk image of a previously committed naive-k
+    /// structure: `state` is the `"naive"` meta blob recovered from the WAL
+    /// (see `boxes_wal::recover`).
+    pub fn reopen(pager: SharedPager, config: NaiveConfig, state: &[u8]) -> Self {
+        NaiveScheme {
+            extra_bits: config.extra_bits,
+            inner: NaiveLabeling::reopen(pager, config, state),
         }
     }
 

@@ -35,8 +35,8 @@
 //! assert_eq!(s.block, e.block);
 //! ```
 
-use boxes_pager::codec::{u64_to_index, usize_to_u64};
-use boxes_pager::{BlockId, Reader, SharedPager, Writer};
+use boxes_pager::codec::{u32_to_usize, u64_to_index, usize_to_u32, usize_to_u64};
+use boxes_pager::{BlockId, Reader, SharedPager, VecWriter, Writer};
 
 /// An immutable label ID: the record number of a LIDF record. Never changes
 /// for the lifetime of the label, so it can be duplicated freely in other
@@ -152,6 +152,56 @@ impl<R: Record> Lidf<R> {
         }
     }
 
+    /// Reconstruct a LIDF from a [`Lidf::save_state`] blob over an existing
+    /// pager (typically one rebuilt by WAL recovery). The record type `R`
+    /// must match the one the state was saved with; block contents are
+    /// trusted as recovered.
+    pub fn reopen(pager: SharedPager, state: &[u8]) -> Self {
+        let mut this = Self::new(pager);
+        let mut r = Reader::new(state);
+        this.slots = r.u64();
+        this.live = r.u64();
+        this.free_head = r.u64();
+        let n_blocks = u32_to_usize(r.u32());
+        this.blocks = (0..n_blocks).map(|_| BlockId(r.u32())).collect();
+        let rpb = usize_to_u64(this.recs_per_block);
+        assert!(
+            this.slots <= usize_to_u64(n_blocks) * rpb
+                && this.slots + rpb > usize_to_u64(n_blocks) * rpb,
+            "LIDF state blob inconsistent: {} slots do not fill {} blocks",
+            this.slots,
+            n_blocks
+        );
+        this
+    }
+
+    /// Serialize the in-memory directory and counters — everything needed to
+    /// [`Lidf::reopen`] over a recovered pager. Journaled mutators stage this
+    /// blob as the `"lidf"` meta of their WAL record.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = VecWriter::new();
+        w.u64(self.slots);
+        w.u64(self.live);
+        w.u64(self.free_head);
+        w.u32(usize_to_u32(self.blocks.len()).expect("directory fits u32"));
+        for b in &self.blocks {
+            w.u32(b.0);
+        }
+        w.into_bytes()
+    }
+
+    /// Run `f` as one journaled operation: every block it dirties commits as
+    /// a single atomic WAL record carrying the refreshed `"lidf"` state
+    /// blob. Without an attached journal this is pure scope bookkeeping.
+    fn journaled<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let txn = self.pager.txn();
+        let out = f(self);
+        let state = self.save_state();
+        self.pager.txn_meta("lidf", || state);
+        txn.commit();
+        out
+    }
+
     /// Records per block for this record type and block size — the paper's
     /// `B` as applied to the LIDF.
     #[inline]
@@ -218,6 +268,10 @@ impl<R: Record> Lidf<R> {
 
     /// Allocate a record, preferring reclaimed slots.
     pub fn alloc(&mut self, value: R) -> Lid {
+        self.journaled(|t| t.alloc_impl(value))
+    }
+
+    fn alloc_impl(&mut self, value: R) -> Lid {
         if self.free_head != FREE_END {
             let lid = Lid(self.free_head);
             let (block, offset) = self.locate(lid);
@@ -254,6 +308,10 @@ impl<R: Record> Lidf<R> {
     /// Append many records sequentially, paying one read-modify-write per
     /// touched block — the bulk-loading I/O pattern (O(N/B)).
     pub fn bulk_append(&mut self, values: &[R]) -> Vec<Lid> {
+        self.journaled(|t| t.bulk_append_impl(values))
+    }
+
+    fn bulk_append_impl(&mut self, values: &[R]) -> Vec<Lid> {
         let mut lids = Vec::with_capacity(values.len());
         let mut i = 0;
         while i < values.len() {
@@ -278,8 +336,12 @@ impl<R: Record> Lidf<R> {
     /// element: a single I/O later retrieves both). Falls back to two
     /// free-list slots when reclaimed space is available.
     pub fn alloc_pair(&mut self, a: R, b: R) -> (Lid, Lid) {
+        self.journaled(|t| t.alloc_pair_impl(a, b))
+    }
+
+    fn alloc_pair_impl(&mut self, a: R, b: R) -> (Lid, Lid) {
         if self.free_head != FREE_END {
-            return (self.alloc(a), self.alloc(b));
+            return (self.alloc_impl(a), self.alloc_impl(b));
         }
         // Append path: both slots land in the same or consecutive blocks and
         // the two writes to a shared block are coalesced below.
@@ -345,6 +407,10 @@ impl<R: Record> Lidf<R> {
 
     /// Overwrite a live record. One read-modify-write (2 I/Os, caching off).
     pub fn write(&mut self, lid: Lid, value: R) {
+        self.journaled(|t| t.write_impl(lid, value));
+    }
+
+    fn write_impl(&mut self, lid: Lid, value: R) {
         let (block, offset) = self.locate(lid);
         let mut buf = self.pager.read(block);
         assert_eq!(
@@ -358,7 +424,11 @@ impl<R: Record> Lidf<R> {
 
     /// Overwrite many records, reading and writing each touched block once.
     /// This models the batched LIDF maintenance done during BOX leaf splits.
-    pub fn write_batch(&mut self, mut updates: Vec<(Lid, R)>) {
+    pub fn write_batch(&mut self, updates: Vec<(Lid, R)>) {
+        self.journaled(|t| t.write_batch_impl(updates));
+    }
+
+    fn write_batch_impl(&mut self, mut updates: Vec<(Lid, R)>) {
         updates.sort_by_key(|(lid, _)| lid.0);
         let mut i = 0;
         while i < updates.len() {
@@ -385,6 +455,10 @@ impl<R: Record> Lidf<R> {
 
     /// Reclaim a record, chaining it into the free list.
     pub fn free(&mut self, lid: Lid) {
+        self.journaled(|t| t.free_impl(lid));
+    }
+
+    fn free_impl(&mut self, lid: Lid) {
         let (block, offset) = self.locate(lid);
         let mut buf = self.pager.read(block);
         assert_eq!(
@@ -403,7 +477,11 @@ impl<R: Record> Lidf<R> {
     /// Reclaim many records, reading and writing each touched block once.
     /// This is the clustered O(N'/B) deletion path the paper describes for
     /// subtree deletes whose LIDF records were allocated together.
-    pub fn free_batch(&mut self, mut lids: Vec<Lid>) {
+    pub fn free_batch(&mut self, lids: Vec<Lid>) {
+        self.journaled(|t| t.free_batch_impl(lids));
+    }
+
+    fn free_batch_impl(&mut self, mut lids: Vec<Lid>) {
         lids.sort();
         debug_assert!(
             lids.windows(2).all(|w| w[0] != w[1]),
@@ -465,7 +543,11 @@ impl<R: Record> Lidf<R> {
 
     /// Sequentially rewrite all live records in place: one read and one
     /// write per block. This is the I/O pattern of naive-k's global relabel.
-    pub fn scan_mut(&mut self, mut f: impl FnMut(Lid, &mut R)) {
+    pub fn scan_mut(&mut self, f: impl FnMut(Lid, &mut R)) {
+        self.journaled(|t| t.scan_mut_impl(f));
+    }
+
+    fn scan_mut_impl(&mut self, mut f: impl FnMut(Lid, &mut R)) {
         for (bi, block) in self.blocks.clone().into_iter().enumerate() {
             let mut buf = self.pager.read(block);
             let base = usize_to_u64(bi) * usize_to_u64(self.recs_per_block);
@@ -809,6 +891,70 @@ mod tests {
         let mut got = reused.clone();
         got.sort();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn save_state_reopen_roundtrip_in_memory() {
+        use boxes_audit::Auditable as _;
+        let mut l = lidf(64);
+        let lids: Vec<Lid> = (0..7).map(|i| l.alloc(Pair(i, i))).collect();
+        l.free(lids[2]);
+        l.free(lids[4]);
+        let state = l.save_state();
+        let l2: Lidf<Pair> = Lidf::reopen(l.pager().clone(), &state);
+        assert_eq!(l2.len(), 5);
+        assert_eq!(l2.read(lids[1]), Pair(1, 1));
+        assert!(!l2.is_live(lids[2]));
+        assert!(l2.audit().is_clean(), "{:?}", l2.audit());
+        // The free chain survives: recycling continues where it left off.
+        let mut l2 = l2;
+        assert_eq!(l2.alloc(Pair(9, 9)), lids[4]);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("boxes-lidf-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn file_backend_roundtrips_records() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let pager = Pager::open_file(&path, 64).expect("create");
+        let mut l: Lidf<Pair> = Lidf::new(pager);
+        let lids: Vec<Lid> = (0..9).map(|i| l.alloc(Pair(i, i * 3))).collect();
+        l.free(lids[4]);
+        for (i, lid) in lids.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(l.read(*lid), Pair(i as u64, i as u64 * 3));
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_backend_reopen_persists_across_processes() {
+        use boxes_audit::Auditable as _;
+        let path = temp_path("reopen-persist");
+        let _ = std::fs::remove_file(&path);
+        let state = {
+            let pager = Pager::open_file(&path, 64).expect("create");
+            let mut l: Lidf<Pair> = Lidf::new(pager);
+            let lids: Vec<Lid> = (0..7).map(|i| l.alloc(Pair(i, 100 + i))).collect();
+            l.free(lids[3]);
+            l.write(lids[5], Pair(55, 55));
+            l.save_state()
+        }; // pager dropped: simulates a clean shutdown
+        let pager = Pager::open_file(&path, 64).expect("reopen");
+        let mut l: Lidf<Pair> = Lidf::reopen(pager, &state);
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.read(Lid(5)), Pair(55, 55));
+        assert_eq!(l.read(Lid(0)), Pair(0, 100));
+        assert!(!l.is_live(Lid(3)));
+        assert!(l.audit().is_clean(), "{:?}", l.audit());
+        assert_eq!(l.alloc(Pair(9, 9)), Lid(3), "free chain persisted");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | BX004 | no `as` casts to integer types — use `try_from`/`From` helpers   |
 //! | BX005 | `AuditReport`/`IoStats` producers are `#[must_use]`, never dropped |
 //! | BX006 | every `pub` item carries a doc comment                           |
+//! | BX007 | no wall-clock time (`std::time`) in library code — determinism   |
 
 use std::collections::BTreeSet;
 
@@ -21,7 +22,9 @@ use crate::model::{Scope, SourceFile};
 use crate::report::Diagnostic;
 
 /// All stable rule IDs, in catalog order.
-pub const RULE_IDS: [&str; 6] = ["BX001", "BX002", "BX003", "BX004", "BX005", "BX006"];
+pub const RULE_IDS: [&str; 7] = [
+    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007",
+];
 
 const INT_TYPES: [&str; 12] = [
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
@@ -40,6 +43,7 @@ pub fn run_all(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut Vec
     bx004_integer_casts(file, out);
     bx005_must_use(file, must_use_fns, out);
     bx006_public_docs(file, out);
+    bx007_wall_clock(file, out);
 }
 
 /// Collect the names of functions in `file` that return one of the
@@ -450,6 +454,57 @@ fn bx006_public_docs(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Clock types whose constructors introduce nondeterminism (BX007).
+const CLOCK_TYPES: [&str; 2] = ["SystemTime", "Instant"];
+
+/// BX007: scheme and library crates must be deterministic — crash-recovery
+/// sweeps, the semantic lint, and every experiment replay the same seeded
+/// workload and demand identical results, so wall-clock reads
+/// (`std::time`, `SystemTime::…`, `Instant::…`) are banned outside the
+/// timing harnesses (`crates/bench`, `xtask`, via `allow_paths`).
+fn bx007_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        if is_ident(file, si, "std")
+            && file.stext(si + 1) == ":"
+            && file.stext(si + 2) == ":"
+            && is_ident(file, si + 3, "time")
+        {
+            push(
+                file,
+                si,
+                "BX007",
+                "`std::time` in library code — clocks are nondeterministic; take \
+                 timings in the bench/xtask harnesses only"
+                    .to_string(),
+                out,
+            );
+            continue;
+        }
+        // Bare `SystemTime::…` / `Instant::…` after an earlier import.
+        let name = file.stext(si);
+        if CLOCK_TYPES.contains(&name)
+            && file.stok(si).map(|t| t.kind) == Some(TokenKind::Ident)
+            && !preceded_by_path_sep(file, si)
+            && file.stext(si + 1) == ":"
+            && file.stext(si + 2) == ":"
+        {
+            push(
+                file,
+                si,
+                "BX007",
+                format!(
+                    "`{name}::…` in library code — wall-clock reads break seeded \
+                     reproducibility; pass counters or ticks in instead"
+                ),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,6 +566,25 @@ mod tests {
         let diags = lint(src);
         assert_eq!(rules_of(&diags), vec!["BX006"]);
         assert!(diags[0].message.contains("bare"));
+    }
+
+    #[test]
+    fn bx007_fires_on_clock_reads_only() {
+        let diags = lint(
+            "use std::time::Instant;\n\
+             fn f() { let t = Instant::now(); let d = Duration::from_secs(1); }",
+        );
+        // Once for the import path, once for the bare `Instant::now()`.
+        assert_eq!(rules_of(&diags), vec!["BX007", "BX007"]);
+        let clean = lint("fn g(ticks: u64) -> u64 { ticks + 1 }");
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn bx007_skips_non_clock_instant_mentions() {
+        // A type *named* in a signature without `::` access is not a read.
+        let diags = lint("fn h(deadline: Instant) {}");
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

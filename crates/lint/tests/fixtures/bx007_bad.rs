@@ -1,0 +1,11 @@
+//! BX007 fixture: wall-clock reads in library code. Every clock access is
+//! nondeterministic and would make the seeded crash sweeps unreproducible.
+
+use std::time::{Instant, SystemTime};
+
+fn stamp_op(log: &mut Vec<u64>) {
+    let since = SystemTime::now();
+    let t = Instant::now();
+    log.push(since.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0));
+    let _ = t;
+}

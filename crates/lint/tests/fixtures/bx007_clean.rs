@@ -1,0 +1,7 @@
+//! BX007 fixture: determinism preserved — ordering comes from a logical
+//! tick counter threaded through the API, never from a clock.
+
+fn stamp_op(log: &mut Vec<u64>, tick: u64) -> u64 {
+    log.push(tick);
+    tick + 1
+}

@@ -60,6 +60,9 @@ impl NaiveConfig {
     }
 }
 
+/// Serialized size of a [`BigLabel`] in the `"naive"` state blob (320 bits).
+const MAX_LABEL_BYTES: usize = 40;
+
 /// The naive-k dynamic labeling scheme over its own heap file of
 /// (label, gap) records.
 pub struct NaiveLabeling {
@@ -117,6 +120,65 @@ impl NaiveLabeling {
         self.recs_per_block
     }
 
+    /// Reconstruct the scheme from its `"naive"` state blob over a recovered
+    /// pager. `config` must match the build-time configuration (record size
+    /// depends on k). The sorted label mirror is not serialized — it is
+    /// rebuilt here by one sequential scan of the live records, the same
+    /// free in-memory sort the paper already grants naive-k.
+    pub fn reopen(pager: SharedPager, config: NaiveConfig, state: &[u8]) -> Self {
+        let mut this = Self::new(pager, config);
+        let mut r = boxes_pager::Reader::new(state);
+        this.slots = r.u64();
+        this.relabel_count = r.u64();
+        let n_free = boxes_pager::codec::u32_to_usize(r.u32());
+        this.free = (0..n_free).map(|_| r.u64()).collect();
+        let n_blocks = boxes_pager::codec::u32_to_usize(r.u32());
+        this.blocks = (0..n_blocks).map(|_| BlockId(r.u32())).collect();
+        this.max_label_seen = BigLabel::read_bytes(r.bytes(MAX_LABEL_BYTES));
+        let dead: std::collections::BTreeSet<u64> = this.free.iter().copied().collect();
+        for slot in 0..this.slots {
+            if !dead.contains(&slot) {
+                let lid = Lid(slot);
+                let (label, _) = this.read_record(lid);
+                this.mirror.insert(label, lid);
+            }
+        }
+        this
+    }
+
+    /// Serialize the in-memory header (slot allocator, free list, counters)
+    /// — everything [`NaiveLabeling::reopen`] needs beyond the label file
+    /// itself. The mirror is derived state and deliberately excluded.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = boxes_pager::VecWriter::new();
+        w.u64(self.slots);
+        w.u64(self.relabel_count);
+        w.u32(boxes_pager::codec::usize_to_u32(self.free.len()).expect("free list fits u32"));
+        for &slot in &self.free {
+            w.u64(slot);
+        }
+        w.u32(boxes_pager::codec::usize_to_u32(self.blocks.len()).expect("directory fits u32"));
+        for b in &self.blocks {
+            w.u32(b.0);
+        }
+        let mut label = [0u8; MAX_LABEL_BYTES];
+        self.max_label_seen.write_bytes(&mut label);
+        w.bytes(&label);
+        w.into_bytes()
+    }
+
+    /// Run `f` as one journaled operation: all blocks it dirties (up to a
+    /// whole global relabel) commit as a single atomic WAL record carrying
+    /// the refreshed `"naive"` state blob.
+    fn journaled<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let txn = self.pager.txn();
+        let out = f(self);
+        let state = self.save_state();
+        self.pager.txn_meta("naive", || state);
+        txn.commit();
+        out
+    }
+
     fn locate(&self, lid: Lid) -> (BlockId, usize) {
         assert!(lid.0 < self.slots, "LID out of range: {lid:?}");
         let block = self.blocks[(lid.0 / self.recs_per_block as u64) as usize];
@@ -172,6 +234,10 @@ impl NaiveLabeling {
     /// Bulk load `count` tags in document order, equally spaced 2^k apart.
     /// O(N/B) I/Os. Returns the LIDs in document order.
     pub fn bulk_load(&mut self, count: usize) -> Vec<Lid> {
+        self.journaled(|t| t.bulk_load_impl(count))
+    }
+
+    fn bulk_load_impl(&mut self, count: usize) -> Vec<Lid> {
         assert!(self.is_empty(), "bulk_load on a non-empty scheme");
         let gap = self.config.gap();
         let mut lids = Vec::with_capacity(count);
@@ -212,10 +278,14 @@ impl NaiveLabeling {
     /// Returns the new LID. Splits the predecessor gap; triggers a global
     /// relabel when the gap is exhausted.
     pub fn insert_before(&mut self, lid_old: Lid) -> Lid {
+        self.journaled(|t| t.insert_before_impl(lid_old))
+    }
+
+    fn insert_before_impl(&mut self, lid_old: Lid) -> Lid {
         let (old_label, old_gap) = self.read_record(lid_old);
         if old_gap.is_one() || old_gap.is_zero() {
             self.relabel();
-            return self.insert_before(lid_old);
+            return self.insert_before_impl(lid_old);
         }
         let left = old_gap.half();
         let new_label = old_label.sub(left);
@@ -230,14 +300,20 @@ impl NaiveLabeling {
     /// Insert a new element (two labels) before the tag labeled `lid`:
     /// end label first, then start label before it (§3).
     pub fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid) {
-        let end = self.insert_before(lid);
-        let start = self.insert_before(end);
-        (start, end)
+        self.journaled(|t| {
+            let end = t.insert_before_impl(lid);
+            let start = t.insert_before_impl(end);
+            (start, end)
+        })
     }
 
     /// Remove the label identified by `lid`, reclaiming its record. The
     /// successor absorbs the freed gap.
     pub fn delete(&mut self, lid: Lid) {
+        self.journaled(|t| t.delete_impl(lid));
+    }
+
+    fn delete_impl(&mut self, lid: Lid) {
         let (label, gap) = self.read_record(lid);
         self.mirror.remove(&label);
         if let Some((&succ_label, &succ_lid)) = self.mirror.range(label..).next() {
@@ -252,26 +328,30 @@ impl NaiveLabeling {
     /// The paper defines no bulk path for naive; this loops
     /// `insert_before` (used only for completeness in E7).
     pub fn insert_subtree_before(&mut self, lid: Lid, n_tags: usize) -> Vec<Lid> {
-        let mut out = Vec::with_capacity(n_tags);
-        let mut anchor = lid;
-        for _ in 0..n_tags {
-            anchor = self.insert_before(anchor);
-            out.push(anchor);
-        }
-        out.reverse();
-        out
+        self.journaled(|t| {
+            let mut out = Vec::with_capacity(n_tags);
+            let mut anchor = lid;
+            for _ in 0..n_tags {
+                anchor = t.insert_before_impl(anchor);
+                out.push(anchor);
+            }
+            out.reverse();
+            out
+        })
     }
 
     /// Delete every label in the inclusive label range of `start`..`end`.
     /// One random I/O per record freed (the paper's O(N′) remark).
     pub fn delete_subtree(&mut self, start: Lid, end: Lid) {
-        let lo = self.lookup(start);
-        let hi = self.lookup(end);
-        assert!(lo < hi, "subtree endpoints out of order");
-        let doomed: Vec<Lid> = self.mirror.range(lo..=hi).map(|(_, &l)| l).collect();
-        for lid in doomed {
-            self.delete(lid);
-        }
+        self.journaled(|t| {
+            let lo = t.lookup(start);
+            let hi = t.lookup(end);
+            assert!(lo < hi, "subtree endpoints out of order");
+            let doomed: Vec<Lid> = t.mirror.range(lo..=hi).map(|(_, &l)| l).collect();
+            for lid in doomed {
+                t.delete_impl(lid);
+            }
+        });
     }
 
     /// Global relabel: every live record gets a fresh, equally spaced label

@@ -1,0 +1,160 @@
+//! Deterministic, seeded crash injection.
+//!
+//! A [`CrashClock`] counts *crash points*: WAL record appends, durability
+//! barriers, checkpoint rotations (ticked by [`Wal`](crate::Wal)) and every
+//! applied backend block write (ticked via [`ClockFault`], the pager's
+//! [`FaultInjector`]). Arming the clock at tick `t` kills the write path at
+//! exactly the `t`-th crash point by raising
+//! [`CrashSignal`](boxes_pager::CrashSignal); harnesses catch it with
+//! `std::panic::catch_unwind` and then recover from the surviving disk
+//! image plus the durable log.
+//!
+//! At a block-write crash point the clock also decides — deterministically
+//! from its seed and the tick number — whether the in-flight write *tears*
+//! (a prefix of the block persists with a stale checksum) or is lost
+//! cleanly, so a sweep over all ticks exercises both failure shapes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use boxes_pager::codec;
+use boxes_pager::{BlockId, FaultInjector, WriteFault};
+
+/// SplitMix64 — the workspace's standard seeded mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Counts crash points and kills the write path at an armed tick.
+pub struct CrashClock {
+    seed: u64,
+    ticks: Cell<u64>,
+    target: Cell<Option<u64>>,
+}
+
+impl CrashClock {
+    /// New clock; disarmed (counting only) until [`CrashClock::arm`].
+    pub fn new(seed: u64) -> Rc<Self> {
+        Rc::new(Self {
+            seed,
+            ticks: Cell::new(0),
+            target: Cell::new(None),
+        })
+    }
+
+    /// Crash at the `target`-th crash point from now (1-based, counting
+    /// continues from the current tick).
+    pub fn arm(&self, target: u64) {
+        self.target.set(Some(self.ticks.get() + target));
+    }
+
+    /// Stop crashing; the clock keeps counting.
+    pub fn disarm(&self) {
+        self.target.set(None);
+    }
+
+    /// Crash points seen so far. Run a workload once disarmed to learn the
+    /// sweep bound, then re-run armed at each tick `1..=ticks()`.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks.get()
+    }
+
+    /// Count one crash point; raises the crash panic when armed for it.
+    pub fn tick(&self) {
+        let now = self.ticks.get() + 1;
+        self.ticks.set(now);
+        if self.target.get() == Some(now) {
+            std::panic::panic_any(boxes_pager::CrashSignal);
+        }
+    }
+
+    /// Deterministic per-tick hash, for tear decisions.
+    fn mix(&self, tick: u64) -> u64 {
+        splitmix64(self.seed ^ tick.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+/// Adapter exposing a [`CrashClock`] as the pager's [`FaultInjector`]: each
+/// applied block write is one crash point, and an armed hit tears the block
+/// (odd hash) or drops the write cleanly (even hash).
+pub struct ClockFault {
+    clock: Rc<CrashClock>,
+    block_size: usize,
+}
+
+impl ClockFault {
+    /// Wrap `clock` for a pager with the given block size.
+    pub fn new(clock: Rc<CrashClock>, block_size: usize) -> Rc<Self> {
+        Rc::new(Self { clock, block_size })
+    }
+}
+
+impl FaultInjector for ClockFault {
+    fn on_block_write(&self, _id: BlockId) -> WriteFault {
+        let now = self.clock.ticks.get() + 1;
+        self.clock.ticks.set(now);
+        if self.clock.target.get() != Some(now) {
+            return WriteFault::Proceed;
+        }
+        let hash = self.clock.mix(now);
+        if hash & 1 == 0 {
+            WriteFault::Crash
+        } else {
+            // Tear a strict prefix: at least 1 byte short of the full block
+            // so the stored checksum is guaranteed stale.
+            let prefix = codec::u64_to_index((hash >> 1) % codec::usize_to_u64(self.block_size));
+            WriteFault::TearAndCrash(prefix)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_clock_only_counts() {
+        let clock = CrashClock::new(7);
+        clock.tick();
+        clock.tick();
+        assert_eq!(clock.ticks(), 2);
+    }
+
+    #[test]
+    fn armed_clock_crashes_at_exact_tick() {
+        let clock = CrashClock::new(7);
+        clock.tick();
+        clock.arm(2); // two ticks from now
+        clock.tick();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| clock.tick()));
+        assert!(result.is_err(), "third tick must crash");
+        assert_eq!(clock.ticks(), 3);
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic() {
+        let decide = |seed: u64, target: u64| {
+            let clock = CrashClock::new(seed);
+            clock.arm(target);
+            let fault = ClockFault::new(clock, 64);
+            let mut out = Vec::new();
+            for _ in 0..target {
+                out.push(fault.on_block_write(BlockId(0)));
+            }
+            out
+        };
+        assert_eq!(decide(11, 5), decide(11, 5));
+        let last = *decide(11, 5).last().expect("nonempty");
+        assert!(matches!(
+            last,
+            WriteFault::Crash | WriteFault::TearAndCrash(_)
+        ));
+        if let WriteFault::TearAndCrash(prefix) = last {
+            assert!(prefix < 64);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The write-ahead log: an append-only byte stream with an explicit
+//! durability barrier, group commit, and checkpoint truncation.
+//!
+//! The log models a real WAL file as two byte buffers: `durable` (what
+//! survives a crash — the bytes after the last fsync) and `pending` (the OS
+//! write cache — lost on crash). [`Wal::commit`] appends the record to
+//! `pending` and, every `sync_every` commits, promotes `pending` to
+//! `durable` (the fsync barrier) and tells the pager to apply buffered
+//! after-images. With `sync_every > 1` this is classic group commit: fewer
+//! barriers, but a crash loses up to `sync_every − 1` recent operations —
+//! consistently, because the pager defers applying exactly the same set.
+//!
+//! Checkpoints happen in [`Wal::applied`], i.e. strictly *after* the backend
+//! has every durable record applied: the log is replaced by a single
+//! checkpoint record carrying the full meta fold (simulating an atomic log
+//! rotation), which bounds recovery time.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use boxes_pager::codec;
+use boxes_pager::{Journal, TxnRecord};
+
+use crate::crashpoint::CrashClock;
+use crate::frame::{self, Record, RecordKind};
+
+/// Tuning for a [`Wal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Emit a durability barrier (fsync) every N commit records. `1` =
+    /// every operation is durable at its commit; larger = group commit.
+    pub sync_every: u64,
+    /// Truncate the log at a checkpoint after every N applied sync
+    /// batches. `0` disables checkpointing (the log grows unboundedly).
+    pub checkpoint_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            sync_every: 1,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Counters of WAL activity, for the ablation harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit records appended.
+    pub records: u64,
+    /// Block frames across all appended records.
+    pub frames: u64,
+    /// Total bytes appended (commits + checkpoints).
+    pub appended_bytes: u64,
+    /// Durability barriers issued.
+    pub syncs: u64,
+    /// Checkpoint truncations performed.
+    pub checkpoints: u64,
+}
+
+struct WalInner {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+    next_lsn: u64,
+    commits_since_sync: u64,
+    batches_since_ckpt: u64,
+    fold: BTreeMap<String, Vec<u8>>,
+    stats: WalStats,
+}
+
+/// A simulated write-ahead log implementing the pager's [`Journal`] hook.
+pub struct Wal {
+    block_size: usize,
+    config: WalConfig,
+    clock: Option<Rc<CrashClock>>,
+    inner: RefCell<WalInner>,
+}
+
+impl Wal {
+    /// New empty log for a pager with the given block size.
+    pub fn new(block_size: usize, config: WalConfig) -> Rc<Self> {
+        Self::build(block_size, config, None)
+    }
+
+    /// New log with a crash clock ticking at every append and sync barrier.
+    pub fn with_crash_clock(
+        block_size: usize,
+        config: WalConfig,
+        clock: Rc<CrashClock>,
+    ) -> Rc<Self> {
+        Self::build(block_size, config, Some(clock))
+    }
+
+    fn build(block_size: usize, config: WalConfig, clock: Option<Rc<CrashClock>>) -> Rc<Self> {
+        assert!(config.sync_every >= 1, "sync_every must be at least 1");
+        Rc::new(Self {
+            block_size,
+            config,
+            clock,
+            inner: RefCell::new(WalInner {
+                durable: Vec::new(),
+                pending: Vec::new(),
+                next_lsn: 1,
+                commits_since_sync: 0,
+                batches_since_ckpt: 0,
+                fold: BTreeMap::new(),
+                stats: WalStats::default(),
+            }),
+        })
+    }
+
+    /// The bytes that would survive a crash right now (everything up to the
+    /// last durability barrier). This is the input to
+    /// [`recover`](crate::recover).
+    #[must_use]
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        self.inner.borrow().durable.clone()
+    }
+
+    /// Current durable log length in bytes.
+    #[must_use]
+    pub fn durable_len(&self) -> usize {
+        self.inner.borrow().durable.len()
+    }
+
+    /// Snapshot of the activity counters.
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        self.inner.borrow().stats
+    }
+
+    fn tick(&self) {
+        if let Some(clock) = &self.clock {
+            clock.tick();
+        }
+    }
+}
+
+impl Journal for Wal {
+    fn commit(&self, record: &TxnRecord) -> bool {
+        // Crash point: the record append (before anything is buffered —
+        // crashing here loses the operation entirely, which is consistent
+        // because the pager has not applied anything either).
+        self.tick();
+        let mut inner = self.inner.borrow_mut();
+        // Meta dedup: only log blobs whose value changed since the last
+        // record that carried them; the fold keeps the authoritative merge
+        // for checkpoints.
+        let metas: Vec<(String, Vec<u8>)> = record
+            .metas
+            .iter()
+            .filter(|(name, data)| inner.fold.get(name) != Some(data))
+            .cloned()
+            .collect();
+        for (name, data) in &record.metas {
+            inner.fold.insert(name.clone(), data.clone());
+        }
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let rec = Record {
+            kind: RecordKind::Commit,
+            lsn,
+            frames: record.frames.clone(),
+            freed: record.freed.clone(),
+            metas,
+        };
+        let bytes = frame::encode(&rec, self.block_size);
+        inner.stats.records += 1;
+        inner.stats.frames += codec::usize_to_u64(rec.frames.len());
+        inner.stats.appended_bytes += codec::usize_to_u64(bytes.len());
+        inner.pending.extend_from_slice(&bytes);
+        inner.commits_since_sync += 1;
+        if inner.commits_since_sync < self.config.sync_every {
+            return false;
+        }
+        drop(inner);
+        // Crash point: the durability barrier itself — crashing here loses
+        // the whole pending batch, again in step with the pager.
+        self.tick();
+        let mut inner = self.inner.borrow_mut();
+        let pending = std::mem::take(&mut inner.pending);
+        inner.durable.extend_from_slice(&pending);
+        inner.stats.syncs += 1;
+        inner.commits_since_sync = 0;
+        true
+    }
+
+    fn applied(&self) {
+        if self.config.checkpoint_every == 0 {
+            return;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.batches_since_ckpt += 1;
+            if inner.batches_since_ckpt < self.config.checkpoint_every {
+                return;
+            }
+        }
+        // Crash point: checkpoint write + rotation. Crashing before the
+        // rotation below leaves the old (longer but equivalent) log.
+        self.tick();
+        let mut inner = self.inner.borrow_mut();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let rec = Record {
+            kind: RecordKind::Checkpoint,
+            lsn,
+            frames: Vec::new(),
+            freed: Vec::new(),
+            metas: inner.fold.clone().into_iter().collect(),
+        };
+        let bytes = frame::encode(&rec, self.block_size);
+        inner.stats.appended_bytes += codec::usize_to_u64(bytes.len());
+        inner.stats.checkpoints += 1;
+        // Atomic log rotation: the new durable log is just the checkpoint.
+        // (A real implementation writes a side file and renames; the crash
+        // model is the same — either the old log or the new one exists.)
+        inner.durable = bytes;
+        inner.batches_since_ckpt = 0;
+    }
+}

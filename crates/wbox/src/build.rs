@@ -45,7 +45,7 @@ impl WBox {
     /// Bulk load `count` fresh labels into an empty W-BOX in document
     /// order. O(N/B) I/Os. Returns the LIDs in order.
     pub fn bulk_load(&mut self, count: usize) -> Vec<Lid> {
-        self.bulk_load_impl(count, None)
+        self.journaled(|t| t.bulk_load_impl(count, None))
     }
 
     /// Bulk load with pair wiring (W-BOX-O): `partner_of[i]` is the index
@@ -56,7 +56,7 @@ impl WBox {
             self.config().pair,
             "bulk_load_pairs requires pair optimization"
         );
-        self.bulk_load_impl(partner_of.len(), Some(partner_of))
+        self.journaled(|t| t.bulk_load_impl(partner_of.len(), Some(partner_of)))
     }
 
     fn bulk_load_impl(&mut self, count: usize, partner_of: Option<&[usize]>) -> Vec<Lid> {

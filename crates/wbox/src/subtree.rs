@@ -24,14 +24,14 @@ impl WBox {
     /// Insert `n_tags` new labels immediately before `lid_old` as one bulk
     /// operation. Returns the new LIDs in document order.
     pub fn insert_subtree_before(&mut self, lid_old: Lid, n_tags: usize) -> Vec<Lid> {
-        self.insert_subtree_impl(lid_old, n_tags, None)
+        self.journaled(|t| t.insert_subtree_impl(lid_old, n_tags, None))
     }
 
     /// Pair-mode bulk insert: `partner_of[i]` is the index (within the new
     /// batch) of tag i's partner tag.
     pub fn insert_subtree_before_pairs(&mut self, lid_old: Lid, partner_of: &[usize]) -> Vec<Lid> {
         assert!(self.config().pair, "pair wiring requires pair mode");
-        self.insert_subtree_impl(lid_old, partner_of.len(), Some(partner_of))
+        self.journaled(|t| t.insert_subtree_impl(lid_old, partner_of.len(), Some(partner_of)))
     }
 
     fn insert_subtree_impl(
@@ -184,6 +184,10 @@ impl WBox {
     /// Delete every label in the inclusive range spanned by `start_lid`
     /// and `end_lid`, reclaiming blocks and LIDF records.
     pub fn delete_subtree(&mut self, start_lid: Lid, end_lid: Lid) {
+        self.journaled(|t| t.delete_subtree_impl(start_lid, end_lid));
+    }
+
+    fn delete_subtree_impl(&mut self, start_lid: Lid, end_lid: Lid) {
         let l_s = self.lookup(start_lid);
         let l_e = self.lookup(end_lid);
         assert!(l_s < l_e, "subtree endpoints out of order");

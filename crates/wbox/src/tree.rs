@@ -73,6 +73,7 @@ impl WBox {
             config.b,
             pager.block_size()
         );
+        let txn = pager.txn();
         let lidf = Lidf::new(pager.clone());
         let root = pager.alloc();
         let this = Self {
@@ -88,7 +89,65 @@ impl WBox {
             relabel_watermark: None,
         };
         this.write_node(root, &WNode::leaf(0));
+        this.pager.txn_meta("wbox", || this.save_state());
+        this.pager.txn_meta("lidf", || this.lidf.save_state());
+        txn.commit();
         this
+    }
+
+    /// Reconstruct a W-BOX from its `"wbox"` and `"lidf"` state blobs over a
+    /// recovered pager. `config` must be the configuration the tree was
+    /// built with (it is structural: node layouts depend on it). Transient
+    /// observability state — the event [`WBoxCounters`] and the §6 relabel
+    /// watermark — restarts empty: a crash may lose pending invalidation
+    /// ranges, which the caching layer handles by realigning its mod-log to
+    /// the recovered checkpoint timestamp.
+    pub fn reopen(pager: SharedPager, config: WBoxConfig, state: &[u8], lidf_state: &[u8]) -> Self {
+        config.validate();
+        let lidf = Lidf::reopen(pager.clone(), lidf_state);
+        let mut r = boxes_pager::Reader::new(state);
+        let root = BlockId(r.u32());
+        let height = boxes_pager::codec::u64_to_index(r.u64());
+        let live = r.u64();
+        let live_at_rebuild = r.u64();
+        let deletions_since_rebuild = r.u64();
+        assert!(pager.is_allocated(root), "recovered W-BOX root unallocated");
+        Self {
+            pager,
+            lidf,
+            config,
+            root,
+            height,
+            live,
+            live_at_rebuild,
+            deletions_since_rebuild,
+            counters: WBoxCounters::default(),
+            relabel_watermark: None,
+        }
+    }
+
+    /// Serialize the in-memory header — everything [`WBox::reopen`] needs
+    /// beyond the blocks themselves and the LIDF's own `"lidf"` blob.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = boxes_pager::VecWriter::new();
+        w.u32(self.root.0);
+        w.u64(boxes_pager::codec::usize_to_u64(self.height));
+        w.u64(self.live);
+        w.u64(self.live_at_rebuild);
+        w.u64(self.deletions_since_rebuild);
+        w.into_bytes()
+    }
+
+    /// Run `f` as one journaled operation: all blocks it dirties (including
+    /// any splits, relabels, or a whole global rebuild) commit as a single
+    /// atomic WAL record carrying the refreshed `"wbox"` state blob.
+    pub(crate) fn journaled<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let txn = self.pager.txn();
+        let out = f(self);
+        let state = self.save_state();
+        self.pager.txn_meta("wbox", || state);
+        txn.commit();
+        out
     }
 
     // ----- node I/O -------------------------------------------------------
@@ -294,6 +353,10 @@ impl WBox {
 
     /// Insert the very first label into an empty W-BOX.
     pub fn insert_first(&mut self) -> Lid {
+        self.journaled(|t| t.insert_first_impl())
+    }
+
+    fn insert_first_impl(&mut self) -> Lid {
         assert!(
             self.is_empty() && self.height == 1,
             "insert_first on a non-empty W-BOX"
@@ -310,6 +373,10 @@ impl WBox {
     /// Insert a new label immediately before `lid_old`. Returns the new
     /// LID. Amortized O(log_B N) I/Os (Theorem 4.6).
     pub fn insert_before(&mut self, lid_old: Lid) -> Lid {
+        self.journaled(|t| t.insert_before_impl(lid_old))
+    }
+
+    fn insert_before_impl(&mut self, lid_old: Lid) -> Lid {
         let leaf_id = self.lidf.read(lid_old).block;
         let leaf = self.read_node(leaf_id);
 
@@ -387,12 +454,14 @@ impl WBox {
     /// `lid`, per §3: end label first, then start before it. In pair mode
     /// the two records are cross-linked afterwards.
     pub fn insert_element_before(&mut self, lid: Lid) -> (Lid, Lid) {
-        let end = self.insert_before(lid);
-        let start = self.insert_before(end);
-        if self.config.pair {
-            self.wire_pair(start, end);
-        }
-        (start, end)
+        self.journaled(|t| {
+            let end = t.insert_before_impl(lid);
+            let start = t.insert_before_impl(end);
+            if t.config.pair {
+                t.wire_pair(start, end);
+            }
+            (start, end)
+        })
     }
 
     /// Add `delta` to the size fields along the path to `label` (internal
@@ -681,6 +750,10 @@ impl WBox {
     /// reclaimed. O(1) I/Os amortized; every N/2 deletions trigger a global
     /// rebuild. Ordinal mode pays an extra O(log_B N) descent for sizes.
     pub fn delete(&mut self, lid: Lid) {
+        self.journaled(|t| t.delete_impl(lid));
+    }
+
+    fn delete_impl(&mut self, lid: Lid) {
         let leaf_id = self.lidf.read(lid).block;
         let mut leaf = self.read_node(leaf_id);
         let pos = leaf.position_of_lid(lid);

@@ -6,7 +6,8 @@ SCALE="${1:-small}"
 mkdir -p results
 for bin in fig5_concentrated fig6_concentrated_dist fig7_scattered fig8_xmark \
            fig9_xmark_dist tab_query_cost tab_bulk_insert tab_label_bits \
-           abl_wbox_params abl_bbox_fill abl_cache_log abl_buffer_pool; do
+           abl_wbox_params abl_bbox_fill abl_cache_log abl_buffer_pool \
+           abl_wal_recovery; do
     echo "=== $bin ($SCALE) ==="
     cargo run --release -p boxes-bench --bin "$bin" -- --scale "$SCALE" \
         > "results/${bin}_${SCALE}.txt" 2> "results/${bin}_${SCALE}.log"

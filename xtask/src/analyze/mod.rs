@@ -1,8 +1,10 @@
 //! The `analyze` command: orchestration of the workspace static-analysis
 //! gate. The individual passes live in the submodules —
 //! [`sweeps`] (crate-root attribute audits), [`lint`] (the `boxes-lint`
-//! source analyzer), and [`semantic`] (auditor-driven workload replay).
+//! source analyzer), [`semantic`] (auditor-driven workload replay), and
+//! [`crash`] (WAL crash-injection sweeps with recovery verification).
 
+mod crash;
 mod lint;
 mod semantic;
 mod sweeps;
@@ -63,6 +65,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     step("missing_docs sweep", sweeps::audit_missing_docs(&root));
     step("source lint", lint::run(&root));
     step("semantic lint", semantic::semantic_lint(seed));
+    step("crash recovery", crash::crash_recovery_lint(seed));
 
     if failures == 0 {
         println!("analyze: all checks passed");
