@@ -14,13 +14,10 @@ mod tests {
         let pager = Pager::new(PagerConfig::with_block_size(128));
         let mut b = BBox::new(pager.clone(), BBoxConfig::from_block_size(128));
         let _lids = b.bulk_load(50);
-        // Flip the node-kind byte of a structure block behind the tree's
-        // back; the audit must *report* the damage as a typed violation —
-        // it must not panic, and not come back clean.
-        let victim = crate::pager::BlockId(0);
-        let mut buf = pager.read(victim);
-        buf[0] = 0xEE;
-        pager.write(victim, &buf);
+        // Stamp a bogus node-kind byte onto a structure block behind the
+        // tree's back; the audit must *report* the damage as a typed
+        // violation — it must not panic, and not come back clean.
+        crate::faultlib::stamp_byte(&pager, crate::pager::BlockId(0), 0, 0xEE);
         let report = b.audit();
         assert!(
             report.has(ViolationKind::CorruptNode),
@@ -42,16 +39,9 @@ mod tests {
             w.lookup(lids[45]) / 7,
             "test premise: the two lids live in different leaves"
         );
-        let lidf_block = crate::pager::BlockId(9);
-        let buf = pager.read(lidf_block);
-        let mut buf2 = buf.clone();
         // slot size = 9 (tag + 8B payload); copy slot 45's payload into
         // slot 0's payload.
-        let (a, b) = (45usize, 0usize);
-        for i in 0..8 {
-            buf2[b * 9 + 1 + i] = buf[a * 9 + 1 + i];
-        }
-        pager.write(lidf_block, &buf2);
+        crate::faultlib::redirect_lidf_slot(&pager, crate::pager::BlockId(9), 9, 45, 0);
         // The audit reports the mismatch as a typed violation (the leaf
         // holding lids[0] no longer agrees with the LIDF), without panicking.
         let report = w.audit();

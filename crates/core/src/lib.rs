@@ -54,6 +54,9 @@ pub mod cached;
 pub mod driver;
 /// WAL-journaled environments, crash injection, and scheme reopening.
 pub mod durable;
+/// Reusable corruption primitives (byte flips, torn slots, dangling LIDF
+/// pointers) for robustness tests and the chaos sweep.
+pub mod faultlib;
 mod faults;
 /// End-to-end labeler facade combining a scheme with a document tree.
 pub mod labeler;

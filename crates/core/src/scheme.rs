@@ -3,8 +3,16 @@
 use boxes_bbox::{BBox, BBoxConfig, PathLabel};
 use boxes_lidf::Lid;
 use boxes_naive::{BigLabel, NaiveConfig, NaiveLabeling};
-use boxes_pager::{Pager, PagerConfig, SharedPager};
+use boxes_pager::{Health, Pager, PagerConfig, PagerError, SharedPager};
 use boxes_wbox::{WBox, WBoxConfig};
+
+/// Run `op`, converting a [`PagerError`] panic payload (a disk fault that
+/// survived retry and repair, or a degraded-mode rejection) into a typed
+/// error. Any other panic — including [`boxes_pager::CrashSignal`] —
+/// resumes unwinding untouched.
+fn catch_pager_error<T>(op: impl FnOnce() -> T) -> Result<T, PagerError> {
+    PagerError::catch(op)
+}
 
 /// A dynamic order-based labeling scheme (§3's supported operations plus
 /// the bulk operations of §4/§5).
@@ -58,6 +66,74 @@ pub trait LabelingScheme {
 
     /// The shared pager, for I/O accounting and space metrics.
     fn pager(&self) -> &SharedPager;
+
+    /// Service state of the scheme's storage: [`Health::Ok`], or
+    /// [`Health::Degraded`] (read-only) after an unrecoverable disk fault.
+    /// Lookups keep working while degraded; the `try_*` mutators fail fast
+    /// with [`PagerError::Degraded`].
+    fn health(&self) -> Health {
+        self.pager().health()
+    }
+
+    /// Fallible [`LabelingScheme::lookup`]: a disk fault that survives
+    /// retry and read-repair comes back as a typed error, never a wrong
+    /// label.
+    fn try_lookup(&self, lid: Lid) -> Result<Self::Label, PagerError> {
+        catch_pager_error(|| self.lookup(lid))
+    }
+
+    /// Fallible [`LabelingScheme::insert_before`]. While degraded the
+    /// mutation is rejected up front — before any structure state changes —
+    /// so the scheme stays consistent and keeps answering lookups. An error
+    /// *during* the operation (the fault that first degrades the pager)
+    /// means in-memory state may have run ahead of disk: recover from the
+    /// WAL and reopen before mutating again.
+    fn try_insert_before(&mut self, lid: Lid) -> Result<Lid, PagerError> {
+        if let Health::Degraded(reason) = self.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        catch_pager_error(|| self.insert_before(lid))
+    }
+
+    /// Fallible [`LabelingScheme::insert_element_before`]; degraded-mode
+    /// semantics as [`LabelingScheme::try_insert_before`].
+    fn try_insert_element_before(&mut self, lid: Lid) -> Result<(Lid, Lid), PagerError> {
+        if let Health::Degraded(reason) = self.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        catch_pager_error(|| self.insert_element_before(lid))
+    }
+
+    /// Fallible [`LabelingScheme::delete`]; degraded-mode semantics as
+    /// [`LabelingScheme::try_insert_before`].
+    fn try_delete(&mut self, lid: Lid) -> Result<(), PagerError> {
+        if let Health::Degraded(reason) = self.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        catch_pager_error(|| self.delete(lid))
+    }
+
+    /// Fallible [`LabelingScheme::insert_subtree_before`]; degraded-mode
+    /// semantics as [`LabelingScheme::try_insert_before`].
+    fn try_insert_subtree_before(
+        &mut self,
+        lid: Lid,
+        partner_of: &[usize],
+    ) -> Result<Vec<Lid>, PagerError> {
+        if let Health::Degraded(reason) = self.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        catch_pager_error(|| self.insert_subtree_before(lid, partner_of))
+    }
+
+    /// Fallible [`LabelingScheme::delete_subtree`]; degraded-mode semantics
+    /// as [`LabelingScheme::try_insert_before`].
+    fn try_delete_subtree(&mut self, start: Lid, end: Lid) -> Result<(), PagerError> {
+        if let Health::Degraded(reason) = self.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        catch_pager_error(|| self.delete_subtree(start, end))
+    }
 }
 
 /// Schemes that can also produce ordinal labels (§3).
@@ -446,6 +522,95 @@ mod tests {
         let pager = Pager::new(PagerConfig::with_block_size(256));
         let bo = BBoxScheme::new(pager, BBoxConfig::from_block_size(256).with_ordinal());
         assert_eq!(bo.name(), "B-BOX-O");
+    }
+
+    #[test]
+    fn degraded_schemes_answer_lookups_and_reject_mutations() {
+        use boxes_pager::{FaultPlan, FaultPlanConfig};
+        use boxes_wal::{Wal, WalConfig};
+
+        fn drill<S: LabelingScheme>(mut s: S, plan: std::rc::Rc<FaultPlan>) {
+            let name = s.name();
+            let lids = s.bulk_load_document(&[5, 2, 1, 4, 3, 0]);
+            // The disk's write path dies. The next mutation commits to the
+            // WAL but cannot apply: the pager parks the frames and degrades
+            // instead of corrupting or panicking.
+            plan.fail_all_writes_after(0);
+            let first = s.try_insert_before(lids[3]);
+            assert!(
+                first.is_ok(),
+                "{name}: the degrading op itself is committed (WAL + overlay)"
+            );
+            assert!(!s.health().is_ok(), "{name}: degraded after write death");
+            // Lookups keep answering, and document order is intact.
+            let labels: Vec<S::Label> = lids
+                .iter()
+                .map(|&lid| s.try_lookup(lid).expect("lookups survive degradation"))
+                .collect();
+            assert!(
+                labels.windows(2).all(|w| w[0] < w[1]),
+                "{name}: document order preserved while degraded"
+            );
+            let inserted = first.expect("checked above");
+            let new_label = s.try_lookup(inserted).expect("new label readable");
+            assert!(labels[2] < new_label && new_label < labels[3]);
+            // Every mutation entry point fails fast with the typed error.
+            assert!(matches!(
+                s.try_insert_before(lids[0]),
+                Err(boxes_pager::PagerError::Degraded(_))
+            ));
+            assert!(matches!(
+                s.try_insert_element_before(lids[0]),
+                Err(boxes_pager::PagerError::Degraded(_))
+            ));
+            assert!(matches!(
+                s.try_delete(inserted),
+                Err(boxes_pager::PagerError::Degraded(_))
+            ));
+            assert!(matches!(
+                s.try_insert_subtree_before(lids[0], &[1, 0]),
+                Err(boxes_pager::PagerError::Degraded(_))
+            ));
+            assert!(matches!(
+                s.try_delete_subtree(lids[1], lids[2]),
+                Err(boxes_pager::PagerError::Degraded(_))
+            ));
+            assert_eq!(s.len(), 7, "{name}: committed op counted, rejects not");
+            // Disk replaced: resume drains the parked frames and service
+            // returns.
+            plan.heal();
+            s.pager().try_resume().expect("resume after heal");
+            assert!(s.health().is_ok(), "{name}: healthy after resume");
+            let again = s.try_insert_before(lids[3]).expect("mutations resume");
+            assert!(s.lookup(inserted) < s.lookup(again));
+            assert!(s.lookup(again) < s.lookup(lids[3]));
+        }
+
+        fn env(block_size: usize) -> (SharedPager, std::rc::Rc<FaultPlan>) {
+            let pager = Pager::new(PagerConfig::with_block_size(block_size));
+            pager.attach_journal(Wal::new(block_size, WalConfig::default()));
+            let plan = FaultPlan::new(FaultPlanConfig::quiet(3, block_size));
+            pager.attach_fault_injector(plan.clone());
+            (pager, plan)
+        }
+
+        let (pager, plan) = env(1024);
+        drill(
+            WBoxScheme::new(pager, WBoxConfig::from_block_size(1024)),
+            plan,
+        );
+        let (pager, plan) = env(1024);
+        drill(
+            WBoxScheme::new(pager, WBoxConfig::from_block_size_paired(1024)),
+            plan,
+        );
+        let (pager, plan) = env(512);
+        drill(
+            BBoxScheme::new(pager, BBoxConfig::from_block_size(512)),
+            plan,
+        );
+        let (pager, plan) = env(512);
+        drill(NaiveScheme::new(pager, NaiveConfig { extra_bits: 8 }), plan);
     }
 
     #[test]

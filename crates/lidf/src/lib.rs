@@ -36,7 +36,7 @@
 //! ```
 
 use boxes_pager::codec::{u32_to_usize, u64_to_index, usize_to_u32, usize_to_u64};
-use boxes_pager::{BlockId, Reader, SharedPager, VecWriter, Writer};
+use boxes_pager::{BlockId, Health, PagerError, Reader, SharedPager, VecWriter, Writer};
 
 /// An immutable label ID: the record number of a LIDF record. Never changes
 /// for the lifetime of the label, so it can be duplicated freely in other
@@ -576,6 +576,45 @@ impl<R: Record> Lidf<R> {
     pub fn pager(&self) -> &SharedPager {
         &self.pager
     }
+
+    /// Health of the underlying pager: degraded LIDFs still serve reads.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        self.pager.health()
+    }
+
+    /// [`Lidf::read`] with disk faults surfaced as typed errors instead of
+    /// panics. Reads are attempted even while degraded — the overlay and
+    /// read-repair keep them answerable.
+    pub fn try_read(&self, lid: Lid) -> Result<R, PagerError> {
+        PagerError::catch(|| self.read(lid))
+    }
+
+    /// [`Lidf::write`] gated on health: mutating a degraded store fails
+    /// fast before any in-memory state (free chain, live count) can drift
+    /// from the durable image.
+    pub fn try_write(&mut self, lid: Lid, value: R) -> Result<(), PagerError> {
+        if let Health::Degraded(reason) = self.pager.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        PagerError::catch(|| self.write(lid, value))
+    }
+
+    /// [`Lidf::alloc`] gated on health; see [`Lidf::try_write`].
+    pub fn try_alloc(&mut self, value: R) -> Result<Lid, PagerError> {
+        if let Health::Degraded(reason) = self.pager.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        PagerError::catch(|| self.alloc(value))
+    }
+
+    /// [`Lidf::free`] gated on health; see [`Lidf::try_write`].
+    pub fn try_free(&mut self, lid: Lid) -> Result<(), PagerError> {
+        if let Health::Degraded(reason) = self.pager.health() {
+            return Err(PagerError::Degraded(reason));
+        }
+        PagerError::catch(|| self.free(lid))
+    }
 }
 
 impl<R: Record> boxes_audit::Auditable for Lidf<R> {
@@ -740,6 +779,35 @@ mod tests {
         let c = l.alloc(Pair(3, 3));
         assert_eq!(c, a, "free slot recycled");
         assert_eq!(l.read(c), Pair(3, 3));
+    }
+
+    #[test]
+    fn degraded_lidf_serves_reads_and_rejects_mutations() {
+        use boxes_pager::{FaultPlan, FaultPlanConfig};
+        let pager = Pager::new(PagerConfig::with_block_size(256));
+        let plan = FaultPlan::new(FaultPlanConfig::quiet(17, 256));
+        pager.attach_fault_injector(plan.clone());
+        let mut l = Lidf::new(pager);
+        let a = l.try_alloc(Pair(1, 2)).expect("healthy alloc");
+        let b = l.try_alloc(Pair(3, 4)).expect("healthy alloc");
+        plan.fail_all_writes_after(0);
+        assert!(
+            matches!(l.try_write(a, Pair(9, 9)), Err(PagerError::Degraded(_))),
+            "persistent write fault surfaces as a typed degrade"
+        );
+        assert!(!l.health().is_ok());
+        // Reads answer the last durable values; further mutations fail fast.
+        assert_eq!(l.try_read(a).expect("reads survive"), Pair(1, 2));
+        assert_eq!(l.try_read(b).expect("reads survive"), Pair(3, 4));
+        assert!(l.try_alloc(Pair(5, 5)).is_err());
+        assert!(l.try_free(b).is_err());
+        assert_eq!(l.len(), 2, "no in-memory drift from rejected mutations");
+        // Disk healed: resume and mutate again.
+        plan.heal();
+        l.pager().try_resume().expect("resume after heal");
+        assert!(l.health().is_ok());
+        l.try_write(a, Pair(9, 9)).expect("mutations resume");
+        assert_eq!(l.read(a), Pair(9, 9));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | BX005 | `AuditReport`/`IoStats` producers are `#[must_use]`, never dropped |
 //! | BX006 | every `pub` item carries a doc comment                           |
 //! | BX007 | no wall-clock time (`std::time`) in library code — determinism   |
+//! | BX008 | pager/WAL I/O `Result`s are handled, never `let _ =` / `.ok();`  |
 
 use std::collections::BTreeSet;
 
@@ -22,8 +23,8 @@ use crate::model::{Scope, SourceFile};
 use crate::report::Diagnostic;
 
 /// All stable rule IDs, in catalog order.
-pub const RULE_IDS: [&str; 7] = [
-    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007",
+pub const RULE_IDS: [&str; 8] = [
+    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008",
 ];
 
 const INT_TYPES: [&str; 12] = [
@@ -44,6 +45,7 @@ pub fn run_all(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut Vec
     bx005_must_use(file, must_use_fns, out);
     bx006_public_docs(file, out);
     bx007_wall_clock(file, out);
+    bx008_io_result_discipline(file, out);
 }
 
 /// Collect the names of functions in `file` that return one of the
@@ -351,10 +353,21 @@ fn bx005_must_use(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut 
 /// Walk left from the call ident at `si` to the start of its receiver chain
 /// and report whether the whole expression is a bare statement.
 fn is_discarded_statement(file: &SourceFile, si: usize) -> bool {
+    match chain_start(file, si) {
+        Some(0) => true,
+        Some(start) => matches!(file.stext(start - 1), ";" | "{" | "}"),
+        None => false, // malformed; be conservative
+    }
+}
+
+/// Walk left from the call ident at `si` over `.`/`::` links, call groups,
+/// and index groups to the first token of the whole receiver chain. `None`
+/// on malformed input.
+fn chain_start(file: &SourceFile, si: usize) -> Option<usize> {
     let mut start = si; // first token of the current chain element
     loop {
         if start == 0 {
-            return true;
+            return Some(0);
         }
         let prev = start - 1;
         if file.stext(prev) == "." || preceded_by_path_sep(file, start) {
@@ -364,14 +377,14 @@ fn is_discarded_statement(file: &SourceFile, si: usize) -> bool {
                 start - 2
             };
             if link == 0 {
-                return false; // malformed; be conservative
+                return None;
             }
             let mut elem = link - 1;
             // Jump over a call/index group: `foo(…).name`, `xs[i].name`.
             if matches!(file.stext(elem), ")" | "]") {
                 match file.open_of[elem] {
                     Some(open) => elem = open,
-                    None => return false,
+                    None => return None,
                 }
                 // `foo(…)` — include the callee ident.
                 if elem > 0
@@ -384,7 +397,7 @@ fn is_discarded_statement(file: &SourceFile, si: usize) -> bool {
             }
             start = elem;
         } else {
-            return matches!(file.stext(prev), ";" | "{" | "}");
+            return Some(start);
         }
     }
 }
@@ -505,6 +518,86 @@ fn bx007_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Fallible pager/WAL I/O entry points whose `Result` carries the fault
+/// outcome (BX008). The list is name-based, like every rule here: these
+/// names are unique to the storage stack's typed-error surface.
+const IO_RESULT_FNS: [&str; 9] = [
+    "try_read",
+    "try_write",
+    "try_alloc",
+    "try_free",
+    "try_resume",
+    "open_file",
+    "write_torn",
+    "recover",
+    "catch",
+];
+
+/// BX008: the `Result` of a pager/WAL I/O call may not be silenced in
+/// library code. `let _ = pager.try_write(…)`, a bare `pager.try_resume();`
+/// statement, and a trailing `.ok();` all throw away the only signal that
+/// the disk is failing or the store degraded — exactly the errors the
+/// retry/repair machinery exists to surface. Branching on the value,
+/// propagating with `?`, or chaining (`.ok().and_then(…)`) are uses.
+fn bx008_io_result_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        let name = file.stext(si);
+        if !IO_RESULT_FNS.contains(&name)
+            || file.stok(si).map(|t| t.kind) != Some(TokenKind::Ident)
+            || file.stext(si + 1) != "("
+        {
+            continue;
+        }
+        let Some(close) = file.close_of[si + 1] else {
+            continue;
+        };
+        // Follow one trailing `.ok()`: it converts the error to `None`
+        // without consuming it, so `….ok();` is still a discard.
+        let (end, how) = if file.stext(close + 1) == "."
+            && file.stext(close + 2) == "ok"
+            && file.stext(close + 3) == "("
+        {
+            match file.close_of[close + 3] {
+                Some(ok_close) => (ok_close, "`.ok()`-silenced"),
+                None => continue,
+            }
+        } else {
+            (close, "discarded")
+        };
+        if file.stext(end + 1) != ";" {
+            continue; // the value flows onward: `?`, match, chain, binding
+        }
+        let Some(start) = chain_start(file, si) else {
+            continue;
+        };
+        let discarded = if start == 0 {
+            true
+        } else {
+            let prev = start - 1;
+            matches!(file.stext(prev), ";" | "{" | "}")
+                || (file.stext(prev) == "="
+                    && start >= 3
+                    && file.stext(start - 2) == "_"
+                    && file.stext(start - 3) == "let")
+        };
+        if discarded {
+            push(
+                file,
+                si,
+                "BX008",
+                format!(
+                    "result of I/O call `{name}()` is {how} — handle the error or \
+                     propagate it; a swallowed disk fault degrades silently"
+                ),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +678,42 @@ mod tests {
         // A type *named* in a signature without `::` access is not a read.
         let diags = lint("fn h(deadline: Instant) {}");
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bx008_fires_on_silenced_io_results_only() {
+        // Wildcard bind, bare statement, and `.ok();` are all discards.
+        let diags = lint(
+            "fn f(p: &SharedPager) {\n\
+               let _ = p.try_write(id, &buf);\n\
+               p.try_resume();\n\
+               p.try_read(id).ok();\n\
+             }",
+        );
+        assert_eq!(rules_of(&diags), vec!["BX008", "BX008", "BX008"]);
+        assert!(diags[2].message.contains("`.ok()`-silenced"));
+    }
+
+    #[test]
+    fn bx008_skips_consumed_io_results() {
+        let diags = lint(
+            "fn f(p: &SharedPager) -> Result<(), PagerError> {\n\
+               p.try_write(id, &buf)?;\n\
+               if p.try_resume().is_ok() { heal(); }\n\
+               let kept = p.try_read(id).ok();\n\
+               let folded = image_fold(log, bs).ok().and_then(|m| m.remove(&k));\n\
+               match Pager::open_file(path, 64) { Ok(_) => {}, Err(_) => {} }\n\
+               keep(kept, folded);\n\
+               Ok(())\n\
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bx008_fires_on_path_call_discards() {
+        let diags = lint("fn f() { let _ = Pager::open_file(\"db\", 64); }");
+        assert_eq!(rules_of(&diags), vec!["BX008"]);
     }
 
     #[test]

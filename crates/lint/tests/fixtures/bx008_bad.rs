@@ -1,0 +1,11 @@
+//! BX008 fixture: pager/WAL I/O `Result`s silenced instead of handled.
+//! Each discard throws away the only signal that the disk is failing or
+//! that the store has entered degraded mode.
+
+fn silence_faults(pager: &SharedPager, lidf: &mut Lidf<Rec>, id: BlockId) {
+    let _ = pager.try_write(id, &[0u8; 64]); // wildcard bind
+    pager.try_resume(); // bare statement
+    pager.try_read(id).ok(); // error mapped to None and dropped
+    let _ = Pager::open_file("labels.bin", 64); // path-call wildcard
+    lidf.try_free(Lid(3)).ok(); // chained discard
+}

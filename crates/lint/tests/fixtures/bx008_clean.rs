@@ -1,0 +1,16 @@
+//! BX008 fixture: every pager/WAL I/O `Result` is consumed — propagated
+//! with `?`, branched on, bound to a live name, or chained onward.
+
+fn handle_faults(pager: &SharedPager, id: BlockId) -> Result<(), PagerError> {
+    pager.try_write(id, &[0u8; 64])?;
+    if pager.try_resume().is_ok() {
+        mark_healthy();
+    }
+    let kept = pager.try_read(id).ok();
+    let image = latest_image(log, 64, id).ok().and_then(|m| m.remove(&id.0));
+    match Pager::open_file("labels.bin", 64) {
+        Ok(reopened) => consume(reopened, kept, image),
+        Err(e) => return Err(e.into()),
+    }
+    Ok(())
+}

@@ -32,11 +32,14 @@
 
 /// Block codecs and the workspace's checked width-conversion helpers.
 pub mod codec;
+/// Deterministic faulty-disk plans for the [`FaultInjector`] seam.
+pub mod fault;
 mod file;
 mod pool;
 mod stats;
 
 pub use codec::{crc32, Reader, VecWriter, Writer};
+pub use fault::{splitmix64, FaultEvent, FaultPlan, FaultPlanConfig, FaultSite, ReadFault};
 pub use file::FileError;
 pub use pool::PoolStats;
 pub use stats::IoStats;
@@ -171,9 +174,18 @@ pub trait Journal {
     /// Called after the pager finished applying every record covered by the
     /// last durable commit — the journal's checkpoint opportunity.
     fn applied(&self);
+
+    /// Reconstruct the latest durable image of `id` from the log — the last
+    /// checkpoint image plus redo replay — for read-repair of a block that
+    /// failed its checksum. `None` when the log retains nothing for the
+    /// block; the default says no journal can repair anything.
+    fn repair_image(&self, _id: BlockId) -> Option<Box<[u8]>> {
+        None
+    }
 }
 
-/// Decision returned by a [`FaultInjector`] for one backend block write.
+/// Decision returned by a [`FaultInjector`] for one backend block write
+/// attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WriteFault {
     /// Perform the write normally.
@@ -183,12 +195,32 @@ pub enum WriteFault {
     TearAndCrash(usize),
     /// Crash before the write reaches the backend at all.
     Crash,
+    /// This attempt fails with a transient I/O error; a retry may succeed.
+    TransientError,
+    /// Every attempt fails: the sector's write path is gone. Past the retry
+    /// budget the pager enters [`Health::Degraded`].
+    PersistentError,
+    /// Persist only the first `n` bytes (stale stored checksum) and report
+    /// failure — unlike [`WriteFault::TearAndCrash`], the process survives
+    /// and the retry rewrites the full block.
+    ShortWrite(usize),
+    /// The write succeeds after a deterministic stall of this many ticks.
+    Latency(u64),
 }
 
-/// Crash-injection hook consulted before every applied backend block write.
+/// Fault-injection hook consulted before every backend block I/O: applied
+/// block writes via [`FaultInjector::on_block_write`], checked block reads
+/// via [`FaultInjector::on_block_read`].
 pub trait FaultInjector {
     /// Decide the fate of the pending write to `id`.
     fn on_block_write(&self, id: BlockId) -> WriteFault;
+
+    /// Decide the fate of the pending read of `id`. Defaults to
+    /// [`ReadFault::Proceed`] so write-only injectors (the WAL's crash
+    /// clock) need not care about the read path.
+    fn on_block_read(&self, _id: BlockId) -> ReadFault {
+        ReadFault::Proceed
+    }
 }
 
 /// Panic payload used to simulate process death at an injected crash point.
@@ -196,6 +228,148 @@ pub trait FaultInjector {
 /// the surviving "disk" ([`Pager::disk_image`]) plus the durable log.
 #[derive(Clone, Copy, Debug)]
 pub struct CrashSignal;
+
+/// Why a pager left normal service — the payload of
+/// [`Health::Degraded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// A backend write to this block kept failing past the retry budget.
+    /// The unapplied after-images are parked in the volatile overlay, so
+    /// reads stay correct; mutations are rejected until
+    /// [`Pager::try_resume`] succeeds.
+    WriteFault {
+        /// The block whose write exhausted the budget.
+        block: BlockId,
+    },
+    /// A checksum-mismatched or unreadable block could not be reconstructed
+    /// from the durable log (no journal attached, or the block is newer
+    /// than everything the log retains).
+    Unrepairable {
+        /// The block that could not be repaired.
+        block: BlockId,
+    },
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::WriteFault { block } => {
+                write!(f, "write to {block:?} failed past the retry budget")
+            }
+            DegradedReason::Unrepairable { block } => {
+                write!(f, "{block:?} is corrupt and not repairable from the log")
+            }
+        }
+    }
+}
+
+/// Service state of a [`Pager`]: normal, or read-only after an unrecoverable
+/// fault. Degraded pagers keep answering reads and lookups (committed state
+/// is intact in the backend, log, and overlay); mutations fail fast with
+/// [`PagerError::Degraded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Normal service.
+    Ok,
+    /// Read-only: mutations are rejected until [`Pager::try_resume`].
+    Degraded(DegradedReason),
+}
+
+impl Health {
+    /// Whether the pager is in normal service.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Health::Ok)
+    }
+}
+
+/// Typed failure of a fallible pager I/O operation. Also used as the panic
+/// payload when an infallible-signature entry point (e.g. [`Pager::read`])
+/// hits a disk fault, so harnesses can classify the failure with
+/// `std::panic::catch_unwind` exactly like [`CrashSignal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PagerError {
+    /// An I/O error persisted past the retry budget.
+    Io {
+        /// The block whose I/O failed.
+        block: BlockId,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// A block failed its checksum and no repair source exists.
+    Corrupt {
+        /// The corrupt block.
+        block: BlockId,
+    },
+    /// The pager is degraded (read-only); the mutation was rejected.
+    Degraded(DegradedReason),
+}
+
+impl std::fmt::Display for PagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagerError::Io { block, attempts } => {
+                write!(f, "I/O on {block:?} failed after {attempts} attempts")
+            }
+            PagerError::Corrupt { block } => {
+                write!(f, "{block:?} failed its checksum with no repair source")
+            }
+            PagerError::Degraded(reason) => {
+                write!(f, "pager is degraded (read-only): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PagerError {}
+
+impl PagerError {
+    /// Run `op`, converting a [`PagerError`] panic payload — raised by the
+    /// infallible-signature entry points on disk faults or degraded-mode
+    /// rejections — into a typed error. Any other panic, including
+    /// [`CrashSignal`], resumes unwinding untouched. This is how layers
+    /// without their own fallible plumbing (schemes, the LIDF) expose
+    /// `try_*` variants.
+    pub fn catch<T>(op: impl FnOnce() -> T) -> Result<T, PagerError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(op)) {
+            Ok(value) => Ok(value),
+            Err(payload) => match payload.downcast::<PagerError>() {
+                Ok(err) => Err(*err),
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+        }
+    }
+}
+
+/// Bounded-retry policy for transient disk faults. Backoff is measured in
+/// deterministic ticks (doubling per retry from `backoff_base`), never wall
+/// clock — sweeps must replay bit-for-bit (BX007).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt. `0` = fail immediately.
+    pub budget: u32,
+    /// Backoff ticks charged for the first retry; doubles each retry.
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            budget: 4,
+            backoff_base: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff ticks charged before retry number `retry` (1-based):
+    /// exponential, `backoff_base << (retry - 1)`, saturating.
+    #[must_use]
+    pub fn backoff_ticks(&self, retry: u32) -> u64 {
+        let shift = retry.saturating_sub(1).min(32);
+        self.backoff_base.saturating_mul(1u64 << shift)
+    }
+}
 
 /// RAII guard for one operation-scoped transaction. All pager writes, allocs
 /// and frees between [`Pager::txn`] and the guard's drop form one atomic
@@ -287,6 +461,9 @@ struct PagerInner {
     fault: Option<Rc<dyn FaultInjector>>,
     txn: TxnState,
     overlay: Overlay,
+    retry: RetryPolicy,
+    degraded: Option<DegradedReason>,
+    degraded_entries: u64,
 }
 
 /// One in-memory block plus its page checksum. The checksum is recomputed on
@@ -306,6 +483,15 @@ impl MemBlock {
         let crc = codec::crc32(&data);
         Self { data, crc }
     }
+}
+
+/// Classified backend read failure, consumed by the pager's checked read
+/// path: retry ([`ReadFailure::Io`]), read-repair ([`ReadFailure::Checksum`])
+/// or the documented contract panic ([`ReadFailure::Unallocated`]).
+enum ReadFailure {
+    Unallocated,
+    Checksum,
+    Io,
 }
 
 enum Backend {
@@ -349,23 +535,57 @@ impl Backend {
         }
     }
 
-    fn read(&mut self, id: BlockId, block_size: usize) -> Box<[u8]> {
+    /// Read a block, classifying failures instead of panicking: the pager's
+    /// checked read path turns a checksum mismatch into read-repair and a
+    /// missing block into the documented contract panic.
+    fn try_read(&mut self, id: BlockId, block_size: usize) -> Result<Box<[u8]>, ReadFailure> {
         match self {
             Backend::Memory(blocks) => {
                 let block = blocks
                     .get(id.index())
                     .and_then(|b| b.as_ref())
-                    .unwrap_or_else(|| panic!("read of unallocated {id:?}"));
-                assert_eq!(
-                    codec::crc32(&block.data),
-                    block.crc,
-                    "checksum mismatch reading {id:?} — torn or corrupt page"
-                );
-                block.data.clone()
+                    .ok_or(ReadFailure::Unallocated)?;
+                if codec::crc32(&block.data) != block.crc {
+                    return Err(ReadFailure::Checksum);
+                }
+                Ok(block.data.clone())
             }
-            Backend::File(f) => f
-                .read(id.index(), block_size)
-                .unwrap_or_else(|e| panic!("read of {id:?} failed: {e}")),
+            Backend::File(f) => match f.read(id.index(), block_size) {
+                Ok(data) => Ok(data),
+                Err(file::FileError::Unallocated(_)) => Err(ReadFailure::Unallocated),
+                Err(file::FileError::Checksum(_) | file::FileError::ShortBlock { .. }) => {
+                    Err(ReadFailure::Checksum)
+                }
+                Err(_) => Err(ReadFailure::Io),
+            },
+        }
+    }
+
+    /// Flip `mask` into the stored byte at `offset`, leaving the stored
+    /// checksum stale — the media-corruption (bit rot) primitive behind
+    /// [`Pager::corrupt_block`] and [`ReadFault::BitFlip`].
+    fn corrupt(&mut self, id: BlockId, offset: usize, mask: u8, block_size: usize) {
+        match self {
+            Backend::Memory(blocks) => {
+                if let Some(block) = blocks.get_mut(id.index()).and_then(|b| b.as_mut()) {
+                    if let Some(byte) = block.data.get_mut(offset) {
+                        *byte ^= mask;
+                    }
+                }
+            }
+            Backend::File(f) => {
+                if let Some((mut data, _crc)) = f.raw(id.index(), block_size) {
+                    if let Some(byte) = data.get_mut(offset) {
+                        *byte ^= mask;
+                        // Full-length "torn" write: data updated, trailer
+                        // checksum left stale — exactly bit rot. If the slot
+                        // vanished mid-corruption there is no media left to
+                        // damage and the fault evaporates, so either outcome
+                        // is acceptable (BX008 suppressed in lint.toml).
+                        let _ = f.write_torn(id.index(), &data);
+                    }
+                }
+            }
         }
     }
 
@@ -451,6 +671,9 @@ impl Pager {
                 fault: None,
                 txn: TxnState::default(),
                 overlay: Overlay::default(),
+                retry: RetryPolicy::default(),
+                degraded: None,
+                degraded_entries: 0,
             }),
         })
     }
@@ -475,6 +698,9 @@ impl Pager {
                 fault: None,
                 txn: TxnState::default(),
                 overlay: Overlay::default(),
+                retry: RetryPolicy::default(),
+                degraded: None,
+                degraded_entries: 0,
             }),
         })
     }
@@ -584,21 +810,30 @@ impl Pager {
             let Some(journal) = inner.journal.clone() else {
                 return;
             };
+            if inner.degraded.is_some() {
+                // Read-only: mutations were rejected up front, so the record
+                // is empty; committing it anyway would let the journal
+                // checkpoint while the overlay still parks unapplied frames.
+                return;
+            }
             let record = Self::drain_txn(&mut inner);
             (journal, record)
         };
         let synced = journal.commit(&record);
-        {
+        let applied_ok = {
             let mut inner = self.inner.borrow_mut();
             if synced {
+                // Merge the overlay (older) with this record (newer) into a
+                // single apply batch so one backend pass either drains
+                // everything or parks the unapplied remainder atomically.
                 let overlay = std::mem::take(&mut inner.overlay);
-                Self::apply_frames(&mut inner, overlay.frames, &overlay.freed);
-                let frames: std::collections::BTreeMap<u32, Box<[u8]>> = record
-                    .frames
-                    .into_iter()
-                    .map(|f| (f.block.0, f.after))
-                    .collect();
-                Self::apply_frames(&mut inner, frames, &record.freed);
+                let mut frames = overlay.frames;
+                let mut freed = overlay.freed;
+                for frame in record.frames {
+                    frames.insert(frame.block.0, frame.after);
+                }
+                freed.extend(record.freed);
+                Self::apply_frames(&mut inner, frames, freed).is_ok()
             } else {
                 for frame in record.frames {
                     inner.overlay.frames.insert(frame.block.0, frame.after);
@@ -607,9 +842,10 @@ impl Pager {
                     inner.overlay.frames.remove(&id.0);
                     inner.overlay.freed.push(id);
                 }
+                false
             }
-        }
-        if synced {
+        };
+        if applied_ok {
             journal.applied();
         }
     }
@@ -656,33 +892,172 @@ impl Pager {
         }
     }
 
-    /// Apply after-images and deferred frees to the backend, consulting the
-    /// fault injector before each block write. A `TearAndCrash` fault
-    /// persists a prefix (leaving the stored checksum stale) and then raises
-    /// [`CrashSignal`]; `Crash` raises it with the write unperformed.
+    /// Apply after-images and deferred frees to the backend through the
+    /// checked write path. On a write fault that survives the retry budget
+    /// the failing frame and every not-yet-applied one are parked back in
+    /// the volatile overlay (reads stay correct — the overlay is consulted
+    /// first) and the pager enters [`Health::Degraded`]; a later
+    /// [`Pager::try_resume`] re-attempts the apply.
     fn apply_frames(
         inner: &mut PagerInner,
-        frames: std::collections::BTreeMap<u32, Box<[u8]>>,
-        freed: &[BlockId],
-    ) {
-        let fault = inner.fault.clone();
-        for (raw, data) in frames {
+        mut frames: std::collections::BTreeMap<u32, Box<[u8]>>,
+        mut freed: Vec<BlockId>,
+    ) -> Result<(), DegradedReason> {
+        while let Some((raw, data)) = frames.pop_first() {
             let id = BlockId(raw);
+            if let Err((data, reason)) = Self::write_block_checked(inner, id, data) {
+                frames.insert(raw, data);
+                inner.overlay.frames.append(&mut frames);
+                inner.overlay.freed.append(&mut freed);
+                Self::enter_degraded(inner, reason);
+                return Err(reason);
+            }
+        }
+        for id in freed {
+            inner.backend.deallocate(id);
+            inner.free.push(id.0);
+        }
+        Ok(())
+    }
+
+    /// Transition to read-only service. Idempotent: the first reason wins
+    /// and later faults while already degraded are not counted again.
+    fn enter_degraded(inner: &mut PagerInner, reason: DegradedReason) {
+        if inner.degraded.is_none() {
+            inner.degraded = Some(reason);
+            inner.degraded_entries += 1;
+        }
+    }
+
+    /// One backend block write under the fault injector and the retry
+    /// policy. Transient errors and short writes are retried with
+    /// deterministic exponential tick backoff; a fault that outlives the
+    /// budget hands the unwritten image back to the caller. `TearAndCrash`
+    /// and `Crash` keep their process-death semantics ([`CrashSignal`]).
+    #[allow(clippy::type_complexity)]
+    fn write_block_checked(
+        inner: &mut PagerInner,
+        id: BlockId,
+        data: Box<[u8]>,
+    ) -> Result<(), (Box<[u8]>, DegradedReason)> {
+        let fault = inner.fault.clone();
+        let policy = inner.retry;
+        let mut retry = 0u32;
+        loop {
             let action = fault
                 .as_ref()
                 .map_or(WriteFault::Proceed, |f| f.on_block_write(id));
             match action {
-                WriteFault::Proceed => inner.backend.write(id, data),
+                WriteFault::Proceed => break,
+                WriteFault::Latency(ticks) => {
+                    inner.stats.backoff_ticks += ticks;
+                    break;
+                }
                 WriteFault::TearAndCrash(prefix) => {
                     inner.backend.write_torn(id, &data, prefix);
                     std::panic::panic_any(CrashSignal);
                 }
                 WriteFault::Crash => std::panic::panic_any(CrashSignal),
+                WriteFault::ShortWrite(prefix) => {
+                    // The media now holds a stale-checksum prefix; the retry
+                    // below rewrites the full block over it.
+                    inner.backend.write_torn(id, &data, prefix);
+                }
+                WriteFault::TransientError | WriteFault::PersistentError => {}
             }
+            if retry >= policy.budget {
+                return Err((data, DegradedReason::WriteFault { block: id }));
+            }
+            retry += 1;
+            inner.stats.retries += 1;
+            inner.stats.backoff_ticks += policy.backoff_ticks(retry);
         }
-        for &id in freed {
-            inner.backend.deallocate(id);
-            inner.free.push(id.0);
+        inner.backend.write(id, data);
+        Ok(())
+    }
+
+    /// One backend block read under the fault injector and the retry
+    /// policy. `consult_faults` is `false` on bookkeeping peeks (before-image
+    /// capture) so they cannot shift the fault plan's deterministic attempt
+    /// counters. A checksum mismatch — whether injected bit rot or found on
+    /// the media — goes through [`Pager::repair_block`].
+    fn read_block_checked(
+        inner: &mut PagerInner,
+        id: BlockId,
+        block_size: usize,
+        consult_faults: bool,
+    ) -> Result<Box<[u8]>, PagerError> {
+        let fault = if consult_faults {
+            inner.fault.clone()
+        } else {
+            None
+        };
+        let policy = inner.retry;
+        let mut retry = 0u32;
+        loop {
+            let action = fault
+                .as_ref()
+                .map_or(ReadFault::Proceed, |f| f.on_block_read(id));
+            let attempt_failed = match action {
+                ReadFault::Proceed => false,
+                ReadFault::Latency(ticks) => {
+                    inner.stats.backoff_ticks += ticks;
+                    false
+                }
+                ReadFault::BitFlip { offset, mask } => {
+                    // The injected rot lands on the media itself; the read
+                    // below sees the mismatch and takes the repair path.
+                    inner.backend.corrupt(id, offset, mask, block_size);
+                    false
+                }
+                ReadFault::TransientError | ReadFault::PersistentError => true,
+            };
+            if !attempt_failed {
+                match inner.backend.try_read(id, block_size) {
+                    Ok(data) => return Ok(data),
+                    Err(ReadFailure::Unallocated) => panic!("read of unallocated {id:?}"),
+                    Err(ReadFailure::Checksum) => return Self::repair_block(inner, id, block_size),
+                    Err(ReadFailure::Io) => {}
+                }
+            }
+            if retry >= policy.budget {
+                return Err(PagerError::Io {
+                    block: id,
+                    attempts: retry + 1,
+                });
+            }
+            retry += 1;
+            inner.stats.retries += 1;
+            inner.stats.backoff_ticks += policy.backoff_ticks(retry);
+        }
+    }
+
+    /// Read-repair: reconstruct a checksum-mismatched block from the journal
+    /// (checkpoint image + redo replay), rewrite it in place, and answer the
+    /// read from the reconstructed image. Without a repair source the pager
+    /// degrades with [`DegradedReason::Unrepairable`] and the read fails
+    /// loudly — never a silently wrong answer.
+    fn repair_block(
+        inner: &mut PagerInner,
+        id: BlockId,
+        block_size: usize,
+    ) -> Result<Box<[u8]>, PagerError> {
+        let image = inner.journal.as_ref().and_then(|j| j.repair_image(id));
+        match image {
+            Some(data) if data.len() == block_size => {
+                inner.stats.repairs += 1;
+                if let Err((_, reason)) = Self::write_block_checked(inner, id, data.clone()) {
+                    // The read is still answered from the log image; only
+                    // write service is lost.
+                    Self::enter_degraded(inner, reason);
+                }
+                Ok(data)
+            }
+            _ => {
+                let reason = DegradedReason::Unrepairable { block: id };
+                Self::enter_degraded(inner, reason);
+                Err(PagerError::Corrupt { block: id })
+            }
         }
     }
 
@@ -721,6 +1096,9 @@ impl Pager {
                 fault: None,
                 txn: TxnState::default(),
                 overlay: Overlay::default(),
+                retry: RetryPolicy::default(),
+                degraded: None,
+                degraded_entries: 0,
             }),
         }))
     }
@@ -742,11 +1120,17 @@ impl Pager {
 
     /// Uncharged peek at a block's current committed-or-buffered content,
     /// used only to capture before-images (bookkeeping, not a paper I/O).
-    fn peek(inner: &mut PagerInner, id: BlockId, block_size: usize) -> Box<[u8]> {
+    /// Skips fault consultation — bookkeeping must not advance the fault
+    /// plan — but still read-repairs media corruption it trips over.
+    fn peek(
+        inner: &mut PagerInner,
+        id: BlockId,
+        block_size: usize,
+    ) -> Result<Box<[u8]>, PagerError> {
         if let Some(data) = inner.overlay.frames.get(&id.0) {
-            return data.clone();
+            return Ok(data.clone());
         }
-        inner.backend.read(id, block_size)
+        Self::read_block_checked(inner, id, block_size, false)
     }
 
     /// Allocate a zeroed block. Recycles freed ids first so the file stays
@@ -754,9 +1138,13 @@ impl Pager {
     ///
     /// # Panics
     /// With a journal attached, panics when called outside a [`TxnScope`]:
-    /// every mutation must belong to a recoverable operation.
+    /// every mutation must belong to a recoverable operation. While degraded
+    /// (read-only), panics with a typed [`PagerError::Degraded`] payload.
     pub fn alloc(&self) -> BlockId {
         let mut inner = self.inner.borrow_mut();
+        if let Some(reason) = inner.degraded {
+            std::panic::panic_any(PagerError::Degraded(reason));
+        }
         inner.stats.allocs += 1;
         if inner.journal.is_some() {
             assert!(
@@ -800,9 +1188,13 @@ impl Pager {
     ///
     /// # Panics
     /// Panics if the block is not currently allocated (double free), or if a
-    /// journal is attached and no [`TxnScope`] is open.
+    /// journal is attached and no [`TxnScope`] is open. While degraded
+    /// (read-only), panics with a typed [`PagerError::Degraded`] payload.
     pub fn free(&self, id: BlockId) {
         let mut inner = self.inner.borrow_mut();
+        if let Some(reason) = inner.degraded {
+            std::panic::panic_any(PagerError::Degraded(reason));
+        }
         inner.stats.frees += 1;
         // Drop any cached copy; a dirty cached copy of a freed block is dead
         // data, so it is discarded without a write-back.
@@ -835,7 +1227,29 @@ impl Pager {
     /// journal, reads inside a scope that hit the transaction's own dirty
     /// buffer are still charged one read — the buffer exists for atomicity,
     /// not caching, and accounting must match the unjournaled pager.
+    ///
+    /// # Panics
+    /// On a disk fault that survives retry and repair, panics with a typed
+    /// [`PagerError`] payload (catch and classify with
+    /// `std::panic::catch_unwind`, like [`CrashSignal`]); use
+    /// [`Pager::try_read`] for a `Result` instead. Panics on reads of
+    /// unallocated blocks (caller contract violation).
     pub fn read(&self, id: BlockId) -> Box<[u8]> {
+        match self.read_impl(id) {
+            Ok(data) => data,
+            Err(err) => std::panic::panic_any(err),
+        }
+    }
+
+    /// Fallible twin of [`Pager::read`]: a disk fault that survives retry
+    /// and repair comes back as a typed [`PagerError`] instead of a panic.
+    /// Still panics on reads of unallocated blocks (contract violation, not
+    /// a disk fault). Reads keep working while degraded.
+    pub fn try_read(&self, id: BlockId) -> Result<Box<[u8]>, PagerError> {
+        self.read_impl(id)
+    }
+
+    fn read_impl(&self, id: BlockId) -> Result<Box<[u8]>, PagerError> {
         let mut inner = self.inner.borrow_mut();
         if inner.journal.is_some() {
             inner.stats.reads += 1;
@@ -844,19 +1258,22 @@ impl Pager {
                 "read of unallocated {id:?}"
             );
             if let Some(entry) = inner.txn.cache.get(&id.0) {
-                return entry.data.clone();
+                return Ok(entry.data.clone());
             }
-            return Self::peek(&mut inner, id, self.block_size);
+            if let Some(data) = inner.overlay.frames.get(&id.0) {
+                return Ok(data.clone());
+            }
+            return Self::read_block_checked(&mut inner, id, self.block_size, true);
         }
         if let Some(data) = inner.pool.get(id) {
-            return data;
+            return Ok(data);
         }
-        let data = inner.backend.read(id, self.block_size);
+        let data = Self::read_block_checked(&mut inner, id, self.block_size, true)?;
         inner.stats.reads += 1;
         if let Some((evicted, dirty)) = inner.pool.insert_clean(id, data.clone()) {
-            Self::write_back(&mut inner, evicted, dirty);
+            Self::write_back(&mut inner, evicted, dirty)?;
         }
-        data
+        Ok(data)
     }
 
     /// Write a block's contents.
@@ -866,9 +1283,31 @@ impl Pager {
     /// Under a journal the write is buffered in the open [`TxnScope`] (still
     /// charged now, so accounting matches the unjournaled pager) and reaches
     /// the backend only after the commit record is durable.
+    ///
+    /// # Panics
+    /// While degraded, or on a disk fault that survives the retry budget,
+    /// panics with a typed [`PagerError`] payload; use [`Pager::try_write`]
+    /// for a `Result`. Panics on writes to unallocated blocks or (journaled)
+    /// outside a [`TxnScope`] — contract violations.
     pub fn write(&self, id: BlockId, data: &[u8]) {
+        if let Err(err) = self.write_impl(id, data) {
+            std::panic::panic_any(err);
+        }
+    }
+
+    /// Fallible twin of [`Pager::write`]: degraded-mode rejections and disk
+    /// faults that survive the retry budget come back as typed
+    /// [`PagerError`]s instead of panics. Contract violations still panic.
+    pub fn try_write(&self, id: BlockId, data: &[u8]) -> Result<(), PagerError> {
+        self.write_impl(id, data)
+    }
+
+    fn write_impl(&self, id: BlockId, data: &[u8]) -> Result<(), PagerError> {
         assert_eq!(data.len(), self.block_size, "write of wrong-sized block");
         let mut inner = self.inner.borrow_mut();
+        if let Some(reason) = inner.degraded {
+            return Err(PagerError::Degraded(reason));
+        }
         if inner.journal.is_some() {
             assert!(
                 inner.txn.depth > 0,
@@ -883,7 +1322,7 @@ impl Pager {
             if let Some(entry) = inner.txn.cache.get_mut(&id.0) {
                 entry.data = boxed;
             } else {
-                let before = Some(Self::peek(&mut inner, id, self.block_size));
+                let before = Some(Self::peek(&mut inner, id, self.block_size)?);
                 inner.txn.cache.insert(
                     id.0,
                     TxnEntry {
@@ -892,7 +1331,7 @@ impl Pager {
                     },
                 );
             }
-            return;
+            return Ok(());
         }
         assert!(
             inner.backend.is_allocated(id),
@@ -900,27 +1339,44 @@ impl Pager {
         );
         if inner.pool.capacity() == 0 {
             inner.stats.writes += 1;
-            inner.backend.write(id, data.to_vec().into_boxed_slice());
-            return;
+            let boxed = data.to_vec().into_boxed_slice();
+            if let Err((_, reason)) = Self::write_block_checked(&mut inner, id, boxed) {
+                Self::enter_degraded(&mut inner, reason);
+                return Err(PagerError::Degraded(reason));
+            }
+            return Ok(());
         }
         if let Some((evicted, dirty)) = inner
             .pool
             .insert_dirty(id, data.to_vec().into_boxed_slice())
         {
-            Self::write_back(&mut inner, evicted, dirty);
+            Self::write_back(&mut inner, evicted, dirty)?;
         }
+        Ok(())
     }
 
-    fn write_back(inner: &mut PagerInner, id: BlockId, data: Box<[u8]>) {
+    fn write_back(inner: &mut PagerInner, id: BlockId, data: Box<[u8]>) -> Result<(), PagerError> {
         inner.stats.writes += 1;
-        inner.backend.write(id, data);
+        if let Err((_, reason)) = Self::write_block_checked(inner, id, data) {
+            // Unjournaled pool write-back has no overlay to park in: the
+            // dirty image is lost, which is exactly why the failure is loud.
+            Self::enter_degraded(inner, reason);
+            return Err(PagerError::Degraded(reason));
+        }
+        Ok(())
     }
 
     /// Flush all dirty pooled blocks to the backing store, charging writes.
+    ///
+    /// # Panics
+    /// Panics with a typed [`PagerError`] payload when a write-back fault
+    /// survives the retry budget.
     pub fn flush(&self) {
         let mut inner = self.inner.borrow_mut();
         for (id, data) in inner.pool.take_dirty() {
-            Self::write_back(&mut inner, id, data);
+            if let Err(err) = Self::write_back(&mut inner, id, data) {
+                std::panic::panic_any(err);
+            }
         }
     }
 
@@ -934,6 +1390,70 @@ impl Pager {
     #[must_use]
     pub fn stats(&self) -> IoStats {
         self.inner.borrow().stats
+    }
+
+    /// Current service state: [`Health::Ok`], or [`Health::Degraded`] after
+    /// an unrecoverable fault (reads keep working; mutations fail fast).
+    #[must_use]
+    pub fn health(&self) -> Health {
+        match self.inner.borrow().degraded {
+            None => Health::Ok,
+            Some(reason) => Health::Degraded(reason),
+        }
+    }
+
+    /// How many times this pager has entered degraded mode (ablation and
+    /// chaos-sweep metric; re-entering after a successful resume counts
+    /// again).
+    #[must_use]
+    pub fn degraded_entries(&self) -> u64 {
+        self.inner.borrow().degraded_entries
+    }
+
+    /// Attempt to leave degraded mode: re-apply every parked overlay frame
+    /// and deferred free through the checked write path. On success the
+    /// pager returns to normal service and the journal gets its deferred
+    /// checkpoint opportunity; if the disk still faults, the remainder is
+    /// parked again and the original [`PagerError::Degraded`] is returned.
+    pub fn try_resume(&self) -> Result<(), PagerError> {
+        let journal = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(reason) = inner.degraded else {
+                return Ok(());
+            };
+            let overlay = std::mem::take(&mut inner.overlay);
+            if Self::apply_frames(&mut inner, overlay.frames, overlay.freed).is_err() {
+                return Err(PagerError::Degraded(reason));
+            }
+            inner.degraded = None;
+            inner.journal.clone()
+        };
+        if let Some(journal) = journal {
+            journal.applied();
+        }
+        Ok(())
+    }
+
+    /// Replace the transient-fault retry policy (defaults to
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.borrow_mut().retry = policy;
+    }
+
+    /// The transient-fault retry policy in effect.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.borrow().retry
+    }
+
+    /// Flip `mask` into the stored byte at `offset` of block `id`, leaving
+    /// the stored checksum stale — simulated media rot for fault drills
+    /// (`boxes_core::faultlib`, the chaos sweep). No-op if the block is not
+    /// allocated or `offset` is out of range. Not an accounted I/O.
+    pub fn corrupt_block(&self, id: BlockId, offset: usize, mask: u8) {
+        let mut inner = self.inner.borrow_mut();
+        inner.pool.discard(id);
+        inner.backend.corrupt(id, offset, mask, self.block_size);
     }
 
     /// Buffer-pool hit/miss counters.
@@ -1383,6 +1903,162 @@ mod tests {
         assert_eq!(q.read(a)[0], 3);
         assert_eq!(q.alloc(), b, "free list restored");
         assert!(q.audit().is_clean());
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_within_budget() {
+        let p = pager(64);
+        let j = MockJournal::new(1);
+        p.attach_journal(j);
+        let plan = FaultPlan::new(FaultPlanConfig::quiet(11, 64));
+        let id = {
+            let _txn = p.txn();
+            let id = p.alloc();
+            p.write(id, &[3u8; 64]);
+            id
+        };
+        p.attach_fault_injector(plan.clone());
+        plan.stumble_writes_to(id, 2);
+        {
+            let _txn = p.txn();
+            p.write(id, &[4u8; 64]);
+        }
+        assert!(p.health().is_ok(), "streak of 2 fits the default budget");
+        assert_eq!(p.read(id)[0], 4);
+        let s = p.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.backoff_ticks, 1 + 2, "exponential deterministic ticks");
+    }
+
+    #[test]
+    fn persistent_write_fault_degrades_but_reads_survive() {
+        let p = pager(64);
+        let j = MockJournal::new(1);
+        p.attach_journal(j);
+        let plan = FaultPlan::new(FaultPlanConfig::quiet(7, 64));
+        let id = {
+            let _txn = p.txn();
+            let id = p.alloc();
+            p.write(id, &[1u8; 64]);
+            id
+        };
+        p.attach_fault_injector(plan.clone());
+        plan.fail_writes_to(id);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _txn = p.txn();
+            p.write(id, &[2u8; 64]);
+        }));
+        // The commit succeeded (the record is durable); only the apply
+        // faulted, which parks the frame and degrades without panicking.
+        assert!(err.is_ok(), "apply failure must not unwind");
+        assert!(matches!(
+            p.health(),
+            Health::Degraded(DegradedReason::WriteFault { .. })
+        ));
+        assert_eq!(p.degraded_entries(), 1);
+        assert_eq!(p.read(id)[0], 2, "overlay-parked image serves reads");
+        // Mutations fail fast with the typed error.
+        let denied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _txn = p.txn();
+            p.write(id, &[9u8; 64]);
+        }));
+        let payload = denied.expect_err("degraded write must reject");
+        assert!(matches!(
+            payload.downcast_ref::<PagerError>(),
+            Some(PagerError::Degraded(_))
+        ));
+        // Resume fails while the fault persists, succeeds once healed.
+        assert!(p.try_resume().is_err());
+        plan.heal();
+        assert!(p.try_resume().is_ok());
+        assert!(p.health().is_ok());
+        assert_eq!(p.read(id)[0], 2, "parked image reached the backend");
+        let _txn = p.txn();
+        p.write(id, &[5u8; 64]);
+        drop(_txn);
+        assert_eq!(p.read(id)[0], 5, "service resumed");
+    }
+
+    #[test]
+    fn corrupt_block_without_journal_is_loud_and_degrades() {
+        let p = pager(64);
+        let a = p.alloc();
+        p.write(a, &[8u8; 64]);
+        p.corrupt_block(a, 3, 0x40);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.read(a)));
+        let payload = err.expect_err("corruption without a repair source");
+        assert!(matches!(
+            payload.downcast_ref::<PagerError>(),
+            Some(PagerError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            p.health(),
+            Health::Degraded(DegradedReason::Unrepairable { .. })
+        ));
+    }
+
+    /// Journal that can repair exactly one block from a stored image.
+    struct RepairingJournal {
+        block: BlockId,
+        image: Box<[u8]>,
+    }
+
+    impl Journal for RepairingJournal {
+        fn commit(&self, _record: &TxnRecord) -> bool {
+            true
+        }
+        fn applied(&self) {}
+        fn repair_image(&self, id: BlockId) -> Option<Box<[u8]>> {
+            (id == self.block).then(|| self.image.clone())
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_read_repaired_from_the_journal() {
+        let p = pager(64);
+        let id = {
+            // Establish committed content before the repairing journal.
+            let id = p.alloc();
+            p.write(id, &[6u8; 64]);
+            id
+        };
+        p.attach_journal(Rc::new(RepairingJournal {
+            block: id,
+            image: vec![6u8; 64].into_boxed_slice(),
+        }));
+        p.corrupt_block(id, 0, 0x01);
+        let _txn = p.txn();
+        assert_eq!(p.read(id)[0], 6, "repaired read answers correctly");
+        assert_eq!(p.stats().repairs, 1);
+        assert!(p.health().is_ok());
+        drop(_txn);
+        // The rewrite fixed the media: a fresh unjournaled reader sees it.
+        assert!(p.disk_image().blocks[id.index()]
+            .as_ref()
+            .is_some_and(DiskBlock::intact));
+    }
+
+    #[test]
+    fn retry_budget_zero_fails_immediately() {
+        let p = pager(64);
+        p.set_retry_policy(RetryPolicy {
+            budget: 0,
+            backoff_base: 1,
+        });
+        let plan = FaultPlan::new(FaultPlanConfig::quiet(5, 64));
+        let a = p.alloc();
+        p.write(a, &[1u8; 64]);
+        p.attach_fault_injector(plan.clone());
+        plan.fail_reads_of(a);
+        let err = p.try_read(a);
+        assert_eq!(
+            err,
+            Err(PagerError::Io {
+                block: a,
+                attempts: 1
+            })
+        );
+        assert_eq!(p.stats().retries, 0);
     }
 
     #[test]

@@ -13,10 +13,20 @@ pub struct IoStats {
     pub allocs: u64,
     /// Block frees.
     pub frees: u64,
+    /// I/O attempts repeated after a transient fault (retry policy).
+    pub retries: u64,
+    /// Blocks reconstructed from the journal after a checksum mismatch
+    /// (read-repair).
+    pub repairs: u64,
+    /// Deterministic backoff/latency ticks charged by faulted I/O — the
+    /// wall-clock-free stand-in for time spent waiting on a flaky disk.
+    pub backoff_ticks: u64,
 }
 
 impl IoStats {
     /// Total data-moving I/Os (reads + writes) — the paper's cost metric.
+    /// Retries, repairs and backoff are fault-service overhead and tracked
+    /// separately.
     #[inline]
     pub fn total(&self) -> u64 {
         self.reads + self.writes
@@ -31,6 +41,9 @@ impl IoStats {
             writes: self.writes - earlier.writes,
             allocs: self.allocs - earlier.allocs,
             frees: self.frees - earlier.frees,
+            retries: self.retries - earlier.retries,
+            repairs: self.repairs - earlier.repairs,
+            backoff_ticks: self.backoff_ticks - earlier.backoff_ticks,
         }
     }
 }
@@ -43,6 +56,9 @@ impl std::ops::Add for IoStats {
             writes: self.writes + rhs.writes,
             allocs: self.allocs + rhs.allocs,
             frees: self.frees + rhs.frees,
+            retries: self.retries + rhs.retries,
+            repairs: self.repairs + rhs.repairs,
+            backoff_ticks: self.backoff_ticks + rhs.backoff_ticks,
         }
     }
 }
@@ -55,7 +71,15 @@ impl std::fmt::Display for IoStats {
             self.total(),
             self.reads,
             self.writes
-        )
+        )?;
+        if self.retries != 0 || self.repairs != 0 {
+            write!(
+                f,
+                " [{} retries, {} repairs, {} backoff ticks]",
+                self.retries, self.repairs, self.backoff_ticks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -70,18 +94,27 @@ mod tests {
             writes: 1,
             allocs: 2,
             frees: 0,
+            retries: 1,
+            repairs: 0,
+            backoff_ticks: 2,
         };
         let late = IoStats {
             reads: 10,
             writes: 4,
             allocs: 2,
             frees: 1,
+            retries: 5,
+            repairs: 2,
+            backoff_ticks: 9,
         };
         let d = late.since(&early);
         assert_eq!(d.reads, 7);
         assert_eq!(d.writes, 3);
         assert_eq!(d.allocs, 0);
         assert_eq!(d.frees, 1);
+        assert_eq!(d.retries, 4);
+        assert_eq!(d.repairs, 2);
+        assert_eq!(d.backoff_ticks, 7);
         assert_eq!(d.total(), 10);
     }
 
@@ -92,9 +125,29 @@ mod tests {
             writes: 2,
             allocs: 3,
             frees: 4,
+            retries: 5,
+            repairs: 6,
+            backoff_ticks: 7,
         };
         let sum = a + a;
         assert_eq!(sum.reads, 2);
         assert_eq!(sum.frees, 8);
+        assert_eq!(sum.retries, 10);
+        assert_eq!(sum.repairs, 12);
+        assert_eq!(sum.backoff_ticks, 14);
+    }
+
+    #[test]
+    fn display_mentions_fault_service_only_when_present() {
+        let quiet = IoStats {
+            reads: 1,
+            ..IoStats::default()
+        };
+        assert!(!format!("{quiet}").contains("retries"));
+        let faulted = IoStats {
+            retries: 3,
+            ..IoStats::default()
+        };
+        assert!(format!("{faulted}").contains("3 retries"));
     }
 }

@@ -18,15 +18,10 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use boxes_pager::codec;
-use boxes_pager::{BlockId, FaultInjector, WriteFault};
-
-/// SplitMix64 — the workspace's standard seeded mixer.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+// One mixer family across crash clocks and fault plans: crash points and
+// disk faults drawn for the same seed never accidentally correlate by
+// using different generators.
+use boxes_pager::{splitmix64, BlockId, FaultInjector, WriteFault};
 
 /// Counts crash points and kills the write path at an armed tick.
 pub struct CrashClock {

@@ -25,6 +25,8 @@ pub mod crashpoint;
 pub mod frame;
 mod log;
 mod recover;
+/// Read-repair: latest durable block images folded from the log.
+pub mod repair;
 
 pub use frame::WalError;
 pub use log::{Wal, WalConfig, WalStats};
@@ -167,6 +169,49 @@ mod tests {
             assert_eq!(
                 recovered.pager.read(id)[0],
                 u8::try_from(i).expect("small") + 1
+            );
+        }
+    }
+
+    #[test]
+    fn bit_rot_is_read_repaired_across_checkpoints() {
+        let (pager, wal) = journaled_pager(WalConfig {
+            sync_every: 1,
+            checkpoint_every: 2,
+        });
+        let ids = run_ops(&pager, 5);
+        assert_eq!(wal.stats().checkpoints, 2);
+        // Rot a block whose commit record was rotated away: its only repair
+        // source is the image the checkpoint carried forward.
+        pager.corrupt_block(ids[0], 3, 0x20);
+        assert_eq!(pager.read(ids[0])[0], 1, "repaired, not wrong or fatal");
+        assert_eq!(pager.stats().repairs, 1);
+        assert!(pager.health().is_ok());
+        // The rewrite fixed the media in place: the next read is clean.
+        assert_eq!(pager.read(ids[0])[0], 1);
+        assert_eq!(pager.stats().repairs, 1, "no second repair needed");
+    }
+
+    #[test]
+    fn checkpoint_rotated_log_still_recovers_after_tail_corruption() {
+        // The negative control's complement: checkpoint images make the log
+        // self-contained, so recovery from just the rotated log plus a
+        // *zeroed* backend reproduces every label-carrying block.
+        let (pager, wal) = journaled_pager(WalConfig {
+            sync_every: 1,
+            checkpoint_every: 4,
+        });
+        let ids = run_ops(&pager, 4);
+        let blank = Pager::new(PagerConfig::with_block_size(BS));
+        for _ in 0..ids.len() {
+            blank.alloc();
+        }
+        let recovered = recover(&wal.durable_bytes(), blank.disk_image()).expect("recover");
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                recovered.pager.read(id)[0],
+                u8::try_from(i).expect("small") + 1,
+                "checkpoint images replay onto a blank disk"
             );
         }
     }

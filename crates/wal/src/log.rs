@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use boxes_pager::codec;
-use boxes_pager::{Journal, TxnRecord};
+use boxes_pager::{BlockId, Journal, TxnFrame, TxnRecord};
 
 use crate::crashpoint::CrashClock;
 use crate::frame::{self, Record, RecordKind};
@@ -202,12 +202,27 @@ impl Journal for Wal {
         // rotation below leaves the old (longer but equivalent) log.
         self.tick();
         let mut inner = self.inner.borrow_mut();
+        // The checkpoint must carry the full image set the old log folded
+        // to, or rotation would destroy the read-repair source for every
+        // block written before it. A fold failure means our own durable
+        // bytes no longer decode — keep the old (still longer, still valid)
+        // log instead of rotating onto a lossy checkpoint.
+        let Ok(images) = crate::repair::image_fold(&inner.durable, self.block_size) else {
+            return;
+        };
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
         let rec = Record {
             kind: RecordKind::Checkpoint,
             lsn,
-            frames: Vec::new(),
+            frames: images
+                .into_iter()
+                .map(|(raw, after)| TxnFrame {
+                    block: BlockId(raw),
+                    before: None,
+                    after,
+                })
+                .collect(),
             freed: Vec::new(),
             metas: inner.fold.clone().into_iter().collect(),
         };
@@ -219,5 +234,14 @@ impl Journal for Wal {
         // model is the same — either the old log or the new one exists.)
         inner.durable = bytes;
         inner.batches_since_ckpt = 0;
+    }
+
+    fn repair_image(&self, id: BlockId) -> Option<Box<[u8]>> {
+        // Repair restores *durable* state only: the backend never holds
+        // unsynced images (the pager's overlay serves those), so the
+        // durable log — checkpoint images plus redo replay — is exactly
+        // the right reconstruction source.
+        let inner = self.inner.borrow();
+        crate::repair::latest_image(&inner.durable, self.block_size, id)
     }
 }

@@ -1,9 +1,12 @@
 //! The `analyze` command: orchestration of the workspace static-analysis
 //! gate. The individual passes live in the submodules —
 //! [`sweeps`] (crate-root attribute audits), [`lint`] (the `boxes-lint`
-//! source analyzer), [`semantic`] (auditor-driven workload replay), and
-//! [`crash`] (WAL crash-injection sweeps with recovery verification).
+//! source analyzer), [`semantic`] (auditor-driven workload replay),
+//! [`crash`] (WAL crash-injection sweeps with recovery verification), and
+//! [`chaos`] (seeded faulty-disk sweeps: retry, read-repair, degraded
+//! mode).
 
+mod chaos;
 mod crash;
 mod lint;
 mod semantic;
@@ -17,6 +20,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     let mut seed: u64 = 0xb0c5_ed01;
     let mut skip_cargo = false;
     let mut lint_only = false;
+    let mut chaos_only = false;
     let mut baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -30,6 +34,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
             },
             "--skip-cargo" => skip_cargo = true,
             "--lint-only" => lint_only = true,
+            "--chaos-only" => chaos_only = true,
             "--baseline" => baseline = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -45,6 +50,9 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     }
     if lint_only {
         return i32::from(!lint::run(&root));
+    }
+    if chaos_only {
+        return i32::from(!chaos::chaos_lint(seed, &root));
     }
 
     let mut failures = 0u32;
@@ -66,6 +74,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     step("source lint", lint::run(&root));
     step("semantic lint", semantic::semantic_lint(seed));
     step("crash recovery", crash::crash_recovery_lint(seed));
+    step("chaos sweep", chaos::chaos_lint(seed, &root));
 
     if failures == 0 {
         println!("analyze: all checks passed");
