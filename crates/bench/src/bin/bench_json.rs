@@ -1,0 +1,53 @@
+//! Emit the machine-readable perf trajectory `target/BENCH_boxes.json`:
+//! concentrated + scattered update streams over the paper lineup, with
+//! per-op I/O distributions and tumbling amortized windows. The document
+//! is deterministic for a fixed scale/block size (wall clock is excluded),
+//! so CI can diff trajectories across commits.
+
+use std::path::Path;
+
+use boxes_bench::report::{bench_json, write_bench_json, JsonWorkload};
+use boxes_bench::{run_schemes, Scale, SchemeKind};
+use boxes_core::xml::workload;
+
+fn main() {
+    let (scale, block_size) = Scale::from_args();
+    let lineup = if std::env::var_os("BOXES_QUICK_LINEUP").is_some() {
+        SchemeKind::quick_lineup()
+    } else {
+        SchemeKind::paper_lineup()
+    };
+
+    eprintln!(
+        "bench_json: scale={} block_size={} schemes={}",
+        scale.name,
+        block_size,
+        lineup.len()
+    );
+
+    let concentrated = workload::concentrated(scale.base_elements, scale.insert_elements);
+    let scattered = workload::scattered(scale.base_elements, scale.insert_elements);
+
+    let conc_results = run_schemes(&lineup, &concentrated, block_size);
+    let scat_results = run_schemes(&lineup, &scattered, block_size);
+
+    let workloads = [
+        JsonWorkload {
+            name: "concentrated",
+            results: &conc_results,
+        },
+        JsonWorkload {
+            name: "scattered",
+            results: &scat_results,
+        },
+    ];
+    let json = bench_json(block_size, &workloads);
+    let path = Path::new("target/BENCH_boxes.json");
+    match write_bench_json(path, &json) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,4 +1,7 @@
-//! Plain-text result tables.
+//! Plain-text result tables and the machine-readable bench trajectory
+//! (`BENCH_boxes.json`).
+
+use crate::runner::RunResult;
 
 /// A fixed-column text table printed to stdout — every experiment binary
 /// reports through this so EXPERIMENTS.md can quote results verbatim.
@@ -63,6 +66,120 @@ pub fn fmt_f(v: f64) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_boxes.json — the perf-trajectory document
+// ---------------------------------------------------------------------------
+
+/// Nearest-rank percentile of a cost sample: the smallest value such that
+/// at least `p`% of the sample is ≤ it. `p` in (0, 100]; an empty sample
+/// yields 0.
+pub fn percentile(costs: &[u64], p: f64) -> u64 {
+    if costs.is_empty() {
+        return 0;
+    }
+    let mut sorted = costs.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Tumbling-window means over per-op costs — the "amortized windows" of
+/// the trajectory: each entry is the mean cost of one consecutive window
+/// of `window` ops (the final partial window is included).
+pub fn window_means(costs: &[u64], window: usize) -> Vec<f64> {
+    if window == 0 {
+        return Vec::new();
+    }
+    costs
+        .chunks(window)
+        .map(|c| c.iter().sum::<u64>() as f64 / c.len() as f64)
+        .collect()
+}
+
+/// One workload's results for [`bench_json`].
+pub struct JsonWorkload<'a> {
+    /// Workload name ("concentrated", "scattered", …).
+    pub name: &'a str,
+    /// One result per scheme.
+    pub results: &'a [RunResult],
+}
+
+fn push_f(out: &mut String, v: f64) {
+    // Fixed four-decimal formatting keeps the document byte-stable across
+    // runs and platforms for the integer-derived means used here.
+    out.push_str(&format!("{v:.4}"));
+}
+
+/// Build the stable machine-readable `BENCH_boxes.json` document: per-op
+/// I/O distributions (avg/p50/p95/max), totals, and tumbling amortized
+/// windows for every (workload, scheme) pair. Wall-clock time is
+/// deliberately excluded — the document must be deterministic for a fixed
+/// seed and workload so CI can diff trajectories across commits.
+pub fn bench_json(block_size: usize, workloads: &[JsonWorkload]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"boxes-bench/1\",\"block_size\":");
+    out.push_str(&block_size.to_string());
+    out.push_str(",\"workloads\":[");
+    for (wi, w) in workloads.iter().enumerate() {
+        if wi > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(w.name);
+        out.push_str("\",\"schemes\":[");
+        for (ri, r) in w.results.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            let window = (r.costs.len() / 16).max(1);
+            out.push_str("{\"scheme\":\"");
+            out.push_str(&r.scheme);
+            out.push_str("\",\"ops\":");
+            out.push_str(&r.costs.len().to_string());
+            out.push_str(",\"avg_io\":");
+            push_f(&mut out, r.avg_io());
+            out.push_str(",\"p50_io\":");
+            out.push_str(&percentile(&r.costs, 50.0).to_string());
+            out.push_str(",\"p95_io\":");
+            out.push_str(&percentile(&r.costs, 95.0).to_string());
+            out.push_str(",\"max_io\":");
+            out.push_str(&r.max_io().to_string());
+            out.push_str(",\"total_reads\":");
+            out.push_str(&r.total.reads.to_string());
+            out.push_str(",\"total_writes\":");
+            out.push_str(&r.total.writes.to_string());
+            out.push_str(",\"label_bits\":");
+            out.push_str(&r.label_bits.to_string());
+            out.push_str(",\"blocks_used\":");
+            out.push_str(&r.blocks_used.to_string());
+            out.push_str(",\"final_len\":");
+            out.push_str(&r.final_len.to_string());
+            out.push_str(",\"amortized\":{\"window\":");
+            out.push_str(&window.to_string());
+            out.push_str(",\"means\":[");
+            for (mi, m) in window_means(&r.costs, window).iter().enumerate() {
+                if mi > 0 {
+                    out.push(',');
+                }
+                push_f(&mut out, *m);
+            }
+            out.push_str("]}}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write a bench JSON document to `path`, creating parent directories.
+pub fn write_bench_json(path: &std::path::Path, json: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +203,45 @@ mod tests {
         assert_eq!(fmt_f(1234.5), "1234"); // ties-to-even at .5
         assert_eq!(fmt_f(4.25159), "4.25");
         assert_eq!(fmt_f(0.123456), "0.1235");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let costs = vec![5, 1, 3, 2, 4];
+        assert_eq!(percentile(&costs, 50.0), 3);
+        assert_eq!(percentile(&costs, 95.0), 5);
+        assert_eq!(percentile(&costs, 100.0), 5);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn window_means_tumble() {
+        let costs = vec![2, 4, 6, 8, 10];
+        assert_eq!(window_means(&costs, 2), vec![3.0, 7.0, 10.0]);
+        assert!(window_means(&costs, 0).is_empty());
+    }
+
+    #[test]
+    fn bench_json_is_stable_and_excludes_wall_clock() {
+        let r = RunResult {
+            scheme: "W-BOX".into(),
+            costs: vec![2, 3, 2, 40, 2],
+            total: Default::default(),
+            label_bits: 64,
+            blocks_used: 12,
+            final_len: 10,
+            elapsed: std::time::Duration::from_secs(5),
+        };
+        let w = [JsonWorkload {
+            name: "concentrated",
+            results: std::slice::from_ref(&r),
+        }];
+        let a = bench_json(8192, &w);
+        assert_eq!(a, bench_json(8192, &w));
+        assert!(a.contains("\"schema\":\"boxes-bench/1\""));
+        assert!(a.contains("\"p95_io\":40"));
+        assert!(!a.contains("elapsed"), "wall clock must not leak: {a}");
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
     }
 }

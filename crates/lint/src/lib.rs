@@ -5,7 +5,7 @@
 //! means *discipline*: every disk touch flows through the accounted
 //! [`Pager`] entry points and label/offset arithmetic never silently
 //! truncates. Generic tools cannot see those invariants; this crate encodes
-//! them as the BX001–BX008 rule catalog (see [`rules`]) over a hand-rolled
+//! them as the BX001–BX009 rule catalog (see [`rules`]) over a hand-rolled
 //! lexer ([`lexer`]) and a lightweight token-stream model ([`model`]) — no
 //! rustc internals, no external dependencies.
 //!
@@ -28,7 +28,7 @@ pub mod lexer;
 pub mod model;
 /// Diagnostics plus the human and JSON renderers.
 pub mod report;
-/// The BX001–BX008 rule catalog.
+/// The BX001–BX009 rule catalog.
 pub mod rules;
 
 use std::collections::BTreeSet;

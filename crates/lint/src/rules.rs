@@ -15,6 +15,7 @@
 //! | BX006 | every `pub` item carries a doc comment                           |
 //! | BX007 | no wall-clock time (`std::time`) in library code — determinism   |
 //! | BX008 | pager/WAL I/O `Result`s are handled, never `let _ =` / `.ok();`  |
+//! | BX009 | trace spans are bound to named locals, never dropped or leaked   |
 
 use std::collections::BTreeSet;
 
@@ -23,8 +24,8 @@ use crate::model::{Scope, SourceFile};
 use crate::report::Diagnostic;
 
 /// All stable rule IDs, in catalog order.
-pub const RULE_IDS: [&str; 8] = [
-    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008",
+pub const RULE_IDS: [&str; 9] = [
+    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009",
 ];
 
 const INT_TYPES: [&str; 12] = [
@@ -46,6 +47,7 @@ pub fn run_all(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut Vec
     bx006_public_docs(file, out);
     bx007_wall_clock(file, out);
     bx008_io_result_discipline(file, out);
+    bx009_span_discipline(file, out);
 }
 
 /// Collect the names of functions in `file` that return one of the
@@ -598,6 +600,79 @@ fn bx008_io_result_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// BX009: a `boxes_trace::OpSpan` is an RAII guard — its I/O attribution
+/// window is its lexical lifetime. A constructor result that is not bound
+/// to a *named* local is a bug either way it can go wrong: a bare
+/// `OpSpan::op(…);` statement or a `let _ = OpSpan::op(…)` binding drops
+/// the span immediately (the operation's I/O lands in the parent span or
+/// unattributed), while `mem::forget` leaks the frame and skews every
+/// enclosing span until thread exit. `let _span = …` style bindings (a
+/// named local, even underscore-prefixed) are the idiom and pass.
+fn bx009_span_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        let name = file.stext(si);
+        if file.stok(si).map(|t| t.kind) != Some(TokenKind::Ident) || file.stext(si + 1) != "(" {
+            continue;
+        }
+        // `mem::forget(…)` in library code: leaks any RAII guard; with a
+        // span argument it silently corrupts the attribution stack.
+        if name == "forget" && preceded_by_path_sep(file, si) && file.stext(si - 3) == "mem" {
+            push(
+                file,
+                si,
+                "BX009",
+                "`mem::forget` in library code — leaking an RAII guard (e.g. a trace \
+                 span) corrupts the attribution stack for the rest of the thread"
+                    .to_string(),
+                out,
+            );
+            continue;
+        }
+        // `OpSpan::op(…)` / `OpSpan::phase(…)` not bound to a named local.
+        if !matches!(name, "op" | "phase")
+            || !preceded_by_path_sep(file, si)
+            || file.stext(si - 3) != "OpSpan"
+        {
+            continue;
+        }
+        let Some(close) = file.close_of[si + 1] else {
+            continue;
+        };
+        if file.stext(close + 1) != ";" {
+            continue; // the span flows onward: returned, stored, passed
+        }
+        let opspan = si - 3;
+        let discarded = if opspan == 0 {
+            true // file starts with the bare constructor statement
+        } else {
+            let prev = file.stext(opspan - 1);
+            // Bare statement …; OpSpan::op(…);
+            matches!(prev, ";" | "{" | "}")
+                // `let _ = OpSpan::op(…);` — the wildcard drops immediately.
+                || (prev == "="
+                    && opspan >= 3
+                    && file.stext(opspan - 2) == "_"
+                    && file.stext(opspan - 3) == "let")
+        };
+        if discarded {
+            push(
+                file,
+                si,
+                "BX009",
+                format!(
+                    "`OpSpan::{name}(…)` is not bound to a named local — the span \
+                     closes immediately and attributes nothing; use `let _span = …` \
+                     so it covers the operation"
+                ),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,6 +789,33 @@ mod tests {
     fn bx008_fires_on_path_call_discards() {
         let diags = lint("fn f() { let _ = Pager::open_file(\"db\", 64); }");
         assert_eq!(rules_of(&diags), vec!["BX008"]);
+    }
+
+    #[test]
+    fn bx009_fires_on_unbound_spans_and_forget() {
+        let diags = lint(
+            "fn f() {\n\
+               OpSpan::op(\"W-BOX\", \"insert\");\n\
+               let _ = OpSpan::phase(\"split\");\n\
+               mem::forget(guard);\n\
+             }",
+        );
+        assert_eq!(rules_of(&diags), vec!["BX009", "BX009", "BX009"]);
+        assert!(diags[0].message.contains("closes immediately"));
+        assert!(diags[2].message.contains("mem::forget"));
+    }
+
+    #[test]
+    fn bx009_skips_bound_and_flowing_spans() {
+        let diags = lint(
+            "fn f() -> OpSpan {\n\
+               let _span = OpSpan::op(\"W-BOX\", \"insert\");\n\
+               let _p = OpSpan::phase(\"split\");\n\
+               keep(OpSpan::phase(\"merge\"));\n\
+               OpSpan::op(\"B-BOX\", \"lookup\")\n\
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! BX009 fixture: trace spans dropped on construction or leaked. Each one
+//! corrupts the I/O attribution the profile gate depends on — a dropped
+//! span covers nothing, a forgotten span never closes.
+
+fn broken_observability(tree: &mut WBox) {
+    OpSpan::op("W-BOX", "insert"); // bare statement: closes immediately
+    let _ = OpSpan::phase("split"); // wildcard bind: same, just wordier
+    let span = OpSpan::op("W-BOX", "delete");
+    mem::forget(span); // leaked frame skews every enclosing span
+    tree.insert_before(anchor);
+}

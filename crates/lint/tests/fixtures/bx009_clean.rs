@@ -1,0 +1,20 @@
+//! BX009 fixture: every span is bound to a named local (underscore-prefixed
+//! is fine — the binding still lives to the end of the scope), returned, or
+//! passed onward, so its RAII window covers the work it labels.
+
+fn observed_insert(tree: &mut WBox) {
+    let _span = OpSpan::op("W-BOX", "insert");
+    tree.insert_before(anchor);
+    {
+        let _phase = OpSpan::phase("split");
+        tree.split_leaf();
+    }
+}
+
+fn handed_to_caller() -> OpSpan {
+    OpSpan::op("B-BOX", "bulk_load")
+}
+
+fn stored_in_guard(keeper: &mut Vec<OpSpan>) {
+    keeper.push(OpSpan::phase("relabel"));
+}

@@ -1,4 +1,4 @@
-//! Fixture-driven proof that every rule in the BX001–BX008 catalog fires on
+//! Fixture-driven proof that every rule in the BX001–BX009 catalog fires on
 //! a known-bad snippet and stays quiet on its known-clean counterpart, plus
 //! the stale-suppression negative control.
 
@@ -20,7 +20,7 @@ fn lint_fixture(name: &str) -> Vec<&'static str> {
 #[test]
 fn every_rule_fires_on_its_bad_fixture() {
     for rule in [
-        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008",
+        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009",
     ] {
         let fired = lint_fixture(&format!("{}_bad", rule.to_lowercase()));
         assert!(
@@ -33,7 +33,7 @@ fn every_rule_fires_on_its_bad_fixture() {
 #[test]
 fn no_rule_fires_on_its_clean_fixture() {
     for rule in [
-        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008",
+        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009",
     ] {
         let fired = lint_fixture(&format!("{}_clean", rule.to_lowercase()));
         assert!(
@@ -56,6 +56,7 @@ fn bad_fixture_counts_are_pinned() {
         ("bx006_bad", "BX006", 3),
         ("bx007_bad", "BX007", 3),
         ("bx008_bad", "BX008", 5),
+        ("bx009_bad", "BX009", 3),
     ];
     for (fixture, rule, want) in cases {
         let fired = lint_fixture(fixture);

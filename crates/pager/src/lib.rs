@@ -44,6 +44,7 @@ pub use file::FileError;
 pub use pool::PoolStats;
 pub use stats::IoStats;
 
+use boxes_trace::{record as trace_record, Counter as TraceCounter};
 use pool::BufferPool;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -951,6 +952,7 @@ impl Pager {
                 WriteFault::Proceed => break,
                 WriteFault::Latency(ticks) => {
                     inner.stats.backoff_ticks += ticks;
+                    trace_record(TraceCounter::BackoffTicks, ticks);
                     break;
                 }
                 WriteFault::TearAndCrash(prefix) => {
@@ -971,6 +973,8 @@ impl Pager {
             retry += 1;
             inner.stats.retries += 1;
             inner.stats.backoff_ticks += policy.backoff_ticks(retry);
+            trace_record(TraceCounter::Retry, 1);
+            trace_record(TraceCounter::BackoffTicks, policy.backoff_ticks(retry));
         }
         inner.backend.write(id, data);
         Ok(())
@@ -1002,6 +1006,7 @@ impl Pager {
                 ReadFault::Proceed => false,
                 ReadFault::Latency(ticks) => {
                     inner.stats.backoff_ticks += ticks;
+                    trace_record(TraceCounter::BackoffTicks, ticks);
                     false
                 }
                 ReadFault::BitFlip { offset, mask } => {
@@ -1029,6 +1034,8 @@ impl Pager {
             retry += 1;
             inner.stats.retries += 1;
             inner.stats.backoff_ticks += policy.backoff_ticks(retry);
+            trace_record(TraceCounter::Retry, 1);
+            trace_record(TraceCounter::BackoffTicks, policy.backoff_ticks(retry));
         }
     }
 
@@ -1046,6 +1053,7 @@ impl Pager {
         match image {
             Some(data) if data.len() == block_size => {
                 inner.stats.repairs += 1;
+                trace_record(TraceCounter::Repair, 1);
                 if let Err((_, reason)) = Self::write_block_checked(inner, id, data.clone()) {
                     // The read is still answered from the log image; only
                     // write service is lost.
@@ -1146,6 +1154,7 @@ impl Pager {
             std::panic::panic_any(PagerError::Degraded(reason));
         }
         inner.stats.allocs += 1;
+        trace_record(TraceCounter::Alloc, 1);
         if inner.journal.is_some() {
             assert!(
                 inner.txn.depth > 0,
@@ -1196,6 +1205,7 @@ impl Pager {
             std::panic::panic_any(PagerError::Degraded(reason));
         }
         inner.stats.frees += 1;
+        trace_record(TraceCounter::Free, 1);
         // Drop any cached copy; a dirty cached copy of a freed block is dead
         // data, so it is discarded without a write-back.
         inner.pool.discard(id);
@@ -1253,6 +1263,7 @@ impl Pager {
         let mut inner = self.inner.borrow_mut();
         if inner.journal.is_some() {
             inner.stats.reads += 1;
+            trace_record(TraceCounter::BlockRead, 1);
             assert!(
                 Self::txn_is_allocated(&inner, id),
                 "read of unallocated {id:?}"
@@ -1266,10 +1277,12 @@ impl Pager {
             return Self::read_block_checked(&mut inner, id, self.block_size, true);
         }
         if let Some(data) = inner.pool.get(id) {
+            trace_record(TraceCounter::CacheHit, 1);
             return Ok(data);
         }
         let data = Self::read_block_checked(&mut inner, id, self.block_size, true)?;
         inner.stats.reads += 1;
+        trace_record(TraceCounter::BlockRead, 1);
         if let Some((evicted, dirty)) = inner.pool.insert_clean(id, data.clone()) {
             Self::write_back(&mut inner, evicted, dirty)?;
         }
@@ -1318,6 +1331,7 @@ impl Pager {
                 "write to unallocated {id:?}"
             );
             inner.stats.writes += 1;
+            trace_record(TraceCounter::BlockWrite, 1);
             let boxed = data.to_vec().into_boxed_slice();
             if let Some(entry) = inner.txn.cache.get_mut(&id.0) {
                 entry.data = boxed;
@@ -1339,6 +1353,7 @@ impl Pager {
         );
         if inner.pool.capacity() == 0 {
             inner.stats.writes += 1;
+            trace_record(TraceCounter::BlockWrite, 1);
             let boxed = data.to_vec().into_boxed_slice();
             if let Err((_, reason)) = Self::write_block_checked(&mut inner, id, boxed) {
                 Self::enter_degraded(&mut inner, reason);
@@ -1357,6 +1372,7 @@ impl Pager {
 
     fn write_back(inner: &mut PagerInner, id: BlockId, data: Box<[u8]>) -> Result<(), PagerError> {
         inner.stats.writes += 1;
+        trace_record(TraceCounter::BlockWrite, 1);
         if let Err((_, reason)) = Self::write_block_checked(inner, id, data) {
             // Unjournaled pool write-back has no overlay to park in: the
             // dirty image is lost, which is exactly why the failure is loud.

@@ -170,6 +170,7 @@ impl Journal for Wal {
         inner.stats.records += 1;
         inner.stats.frames += codec::usize_to_u64(rec.frames.len());
         inner.stats.appended_bytes += codec::usize_to_u64(bytes.len());
+        boxes_trace::record(boxes_trace::Counter::WalAppend, 1);
         inner.pending.extend_from_slice(&bytes);
         inner.commits_since_sync += 1;
         if inner.commits_since_sync < self.config.sync_every {
@@ -183,6 +184,7 @@ impl Journal for Wal {
         let pending = std::mem::take(&mut inner.pending);
         inner.durable.extend_from_slice(&pending);
         inner.stats.syncs += 1;
+        boxes_trace::record(boxes_trace::Counter::WalSync, 1);
         inner.commits_since_sync = 0;
         true
     }
@@ -229,6 +231,7 @@ impl Journal for Wal {
         let bytes = frame::encode(&rec, self.block_size);
         inner.stats.appended_bytes += codec::usize_to_u64(bytes.len());
         inner.stats.checkpoints += 1;
+        boxes_trace::record(boxes_trace::Counter::WalCheckpoint, 1);
         // Atomic log rotation: the new durable log is just the checkpoint.
         // (A real implementation writes a side file and renames; the crash
         // model is the same — either the old log or the new one exists.)
@@ -242,6 +245,10 @@ impl Journal for Wal {
         // durable log — checkpoint images plus redo replay — is exactly
         // the right reconstruction source.
         let inner = self.inner.borrow();
-        crate::repair::latest_image(&inner.durable, self.block_size, id)
+        let image = crate::repair::latest_image(&inner.durable, self.block_size, id);
+        if image.is_some() {
+            boxes_trace::record(boxes_trace::Counter::WalReplay, 1);
+        }
+        image
     }
 }

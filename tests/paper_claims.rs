@@ -10,10 +10,12 @@ use boxes_core::wbox::{WBox, WBoxConfig};
 const BS: usize = 8192;
 const N: usize = 200_000;
 
-#[test]
-fn theorem_4_5_wbox_lookup_is_two_ios() {
-    let pager = Pager::new(PagerConfig::with_block_size(BS));
-    let mut w = WBox::new(pager.clone(), WBoxConfig::from_block_size(BS));
+/// Theorem 4.5 at one block size: a W-BOX lookup is exactly two I/Os (the
+/// LIDF hop plus one leaf read), independent of the tree height the block
+/// size induces.
+fn wbox_lookup_is_two_ios_at(bs: usize) {
+    let pager = Pager::new(PagerConfig::with_block_size(bs));
+    let mut w = WBox::new(pager.clone(), WBoxConfig::from_block_size(bs));
     let lids = w.bulk_load(N);
     // Grow the tree with adversarial inserts first.
     for _ in 0..2_000 {
@@ -25,22 +27,61 @@ fn theorem_4_5_wbox_lookup_is_two_ios() {
         assert_eq!(
             pager.stats().since(&before).total(),
             2,
-            "LIDF hop + exactly one leaf read, independent of tree height"
+            "bs={bs}: LIDF hop + exactly one leaf read, independent of tree height"
+        );
+    }
+}
+
+#[test]
+fn theorem_4_5_wbox_lookup_is_two_ios() {
+    wbox_lookup_is_two_ios_at(BS);
+}
+
+#[test]
+fn theorem_4_5_wbox_lookup_is_two_ios_4k() {
+    wbox_lookup_is_two_ios_at(4096);
+}
+
+/// Theorem 5.2 at one block size: a B-BOX lookup costs exactly the tree
+/// height plus the LIDF hop. The expected height is derived from the
+/// block-size-dependent config (fan-out ⌈B/2⌉ per level at minimum), so a
+/// smaller block size must produce the taller tree this test predicts.
+fn bbox_lookup_is_height_plus_lidf_at(bs: usize) {
+    let pager = Pager::new(PagerConfig::with_block_size(bs));
+    let mut b = BBox::new(pager.clone(), BBoxConfig::from_block_size(bs));
+    let lids = b.bulk_load(N);
+    let h = b.height() as u64;
+    // Sanity-bound the measured height from the config: bulk load fills
+    // leaves/internals to at least half capacity, so height is at most
+    // ⌈log_{cap/2}⌉-ish; and it is at least ⌈log_{cap}⌉ of the leaf count.
+    let leaf_cap = b.config().leaf_capacity as f64;
+    let int_cap = b.config().internal_capacity as f64;
+    let leaves = (N as f64 / leaf_cap).ceil();
+    let min_h = 1.0 + leaves.log(int_cap).ceil();
+    let max_h = 1.0 + (leaves * 2.0).log(int_cap / 2.0).ceil();
+    assert!(
+        (h as f64) >= min_h.min(2.0) && (h as f64) <= max_h + 1.0,
+        "bs={bs}: measured height {h} outside config-derived [{min_h:.0}, {max_h:.0}+1]"
+    );
+    for probe in [0, N / 3, N - 1] {
+        let before = pager.stats();
+        b.lookup(lids[probe]);
+        assert_eq!(
+            pager.stats().since(&before).total(),
+            h + 1,
+            "bs={bs}: lookup must cost height {h} + 1 LIDF hop"
         );
     }
 }
 
 #[test]
 fn theorem_5_2_bbox_lookup_is_height_plus_lidf() {
-    let pager = Pager::new(PagerConfig::with_block_size(BS));
-    let mut b = BBox::new(pager.clone(), BBoxConfig::from_block_size(BS));
-    let lids = b.bulk_load(N);
-    let h = b.height() as u64;
-    for probe in [0, N / 3, N - 1] {
-        let before = pager.stats();
-        b.lookup(lids[probe]);
-        assert_eq!(pager.stats().since(&before).total(), h + 1);
-    }
+    bbox_lookup_is_height_plus_lidf_at(BS);
+}
+
+#[test]
+fn theorem_5_2_bbox_lookup_is_height_plus_lidf_4k() {
+    bbox_lookup_is_height_plus_lidf_at(4096);
 }
 
 #[test]

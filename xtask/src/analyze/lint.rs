@@ -5,7 +5,7 @@ use std::path::Path;
 
 use boxes_lint::report::Outcome;
 
-/// Run the BX001–BX006 catalog against the `lint.toml` baseline. Prints
+/// Run the BX001–BX009 catalog against the `lint.toml` baseline. Prints
 /// every unsuppressed finding and every stale suppression; returns whether
 /// the gate is clean.
 pub(crate) fn run(root: &Path) -> bool {

@@ -2,13 +2,15 @@
 //! gate. The individual passes live in the submodules —
 //! [`sweeps`] (crate-root attribute audits), [`lint`] (the `boxes-lint`
 //! source analyzer), [`semantic`] (auditor-driven workload replay),
-//! [`crash`] (WAL crash-injection sweeps with recovery verification), and
+//! [`crash`] (WAL crash-injection sweeps with recovery verification),
 //! [`chaos`] (seeded faulty-disk sweeps: retry, read-repair, degraded
-//! mode).
+//! mode), and [`profile`] (trace-attribution identity checks plus the
+//! `trace-report.json` / `BENCH_boxes.json` artifacts).
 
 mod chaos;
 mod crash;
 mod lint;
+mod profile;
 mod semantic;
 mod sweeps;
 
@@ -21,6 +23,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     let mut skip_cargo = false;
     let mut lint_only = false;
     let mut chaos_only = false;
+    let mut profile_only = false;
     let mut baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -35,6 +38,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
             "--skip-cargo" => skip_cargo = true,
             "--lint-only" => lint_only = true,
             "--chaos-only" => chaos_only = true,
+            "--profile-only" => profile_only = true,
             "--baseline" => baseline = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -53,6 +57,9 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     }
     if chaos_only {
         return i32::from(!chaos::chaos_lint(seed, &root));
+    }
+    if profile_only {
+        return i32::from(!profile::profile_lint(seed, &root));
     }
 
     let mut failures = 0u32;
@@ -75,6 +82,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     step("semantic lint", semantic::semantic_lint(seed));
     step("crash recovery", crash::crash_recovery_lint(seed));
     step("chaos sweep", chaos::chaos_lint(seed, &root));
+    step("profile/attribution", profile::profile_lint(seed, &root));
 
     if failures == 0 {
         println!("analyze: all checks passed");

@@ -1,0 +1,355 @@
+//! The profile/attribution pass: replay seeded workloads through every
+//! scheme with the `boxes-trace` layer live and enforce the **accounting
+//! identity** — every block read/write/alloc/free (and every fault-service
+//! retry, repair and backoff tick) the pager counted must be attributed to
+//! some open operation span. An unattributed I/O means a scheme hot path
+//! reached the pager outside any span, i.e. the observability wiring has a
+//! hole; the gate fails.
+//!
+//! The pass also writes two deterministic artifacts:
+//!
+//! * `target/trace-report.json` — the `boxes-trace/1` span/counter report
+//!   aggregated over every profiled leg (per-op I/O histograms, phase
+//!   totals, the attribution split);
+//! * `target/BENCH_boxes.json` — the `boxes-bench/1` perf trajectory for a
+//!   reduced lineup (per-op distributions and amortized windows).
+
+use std::path::Path;
+
+use boxes_bench::report::{bench_json, write_bench_json, JsonWorkload};
+use boxes_bench::{run_schemes, SchemeKind};
+use boxes_core::bbox::BBoxConfig;
+use boxes_core::lidf::{BlockPtrRecord, Lidf};
+use boxes_core::naive::NaiveConfig;
+use boxes_core::pager::{
+    BlockId, FaultPlan, FaultPlanConfig, IoStats, Pager, PagerConfig, RetryPolicy, SharedPager,
+};
+use boxes_core::wal::{Wal, WalConfig};
+use boxes_core::wbox::WBoxConfig;
+use boxes_core::xml::workload::{concentrated, scattered, UpdateStream};
+use boxes_core::{BBoxScheme, DocumentDriver, LabelingScheme, NaiveScheme, WBoxScheme};
+use boxes_trace as trace;
+
+/// Retry budget for the faulty leg — generous, so in-budget noise never
+/// surfaces as an operation failure.
+const BUDGET: u32 = 8;
+
+/// Snapshot of the trace attribution split, for leg-wise deltas.
+struct TraceMark {
+    attributed: trace::TraceCounters,
+    unattributed: trace::TraceCounters,
+}
+
+fn mark() -> TraceMark {
+    TraceMark {
+        attributed: trace::attributed(),
+        unattributed: trace::unattributed(),
+    }
+}
+
+/// Enforce the identity for one leg: between `before` and now,
+///
+/// 1. nothing was recorded outside a span (`unattributed` did not move);
+/// 2. the attributed counters agree field-for-field with the pager's own
+///    [`IoStats`] delta on the seven shared counters;
+/// 3. every span was closed (RAII discipline — no leaks).
+fn check_identity(label: &str, before: &TraceMark, pager_delta: IoStats) -> Result<(), String> {
+    let un = trace::unattributed().since(&before.unattributed);
+    if !un.is_zero() {
+        return Err(format!(
+            "{label}: unattributed I/O (hot path outside any span): {un:?}"
+        ));
+    }
+    let attr = trace::attributed().since(&before.attributed);
+    let pairs: [(&str, u64, u64); 7] = [
+        ("reads", attr.reads, pager_delta.reads),
+        ("writes", attr.writes, pager_delta.writes),
+        ("allocs", attr.allocs, pager_delta.allocs),
+        ("frees", attr.frees, pager_delta.frees),
+        ("retries", attr.retries, pager_delta.retries),
+        ("repairs", attr.repairs, pager_delta.repairs),
+        (
+            "backoff_ticks",
+            attr.backoff_ticks,
+            pager_delta.backoff_ticks,
+        ),
+    ];
+    for (name, traced, counted) in pairs {
+        if traced != counted {
+            return Err(format!(
+                "{label}: accounting identity broken on `{name}`: \
+                 trace attributed {traced}, pager counted {counted}"
+            ));
+        }
+    }
+    if trace::open_spans() != 0 {
+        return Err(format!(
+            "{label}: {} span(s) left open after the leg (RAII leak)",
+            trace::open_spans()
+        ));
+    }
+    Ok(())
+}
+
+/// Build a scheme on `pager`, replay `stream` through the document driver,
+/// and check the identity over the whole leg (construction + bulk load +
+/// every update op). The leg must do real work: a zero pager delta would
+/// make the identity vacuous, so it fails too.
+fn profile_stream<S: LabelingScheme>(
+    label: &str,
+    pager: SharedPager,
+    scheme: S,
+    stream: &UpdateStream,
+) -> Result<(), String> {
+    let before = mark();
+    let stats0 = pager.stats();
+    let mut driver = DocumentDriver::load(scheme, &stream.base);
+    for op in &stream.ops {
+        driver.apply(op);
+    }
+    let delta = pager.stats().since(&stats0);
+    if delta.total() == 0 {
+        return Err(format!("{label}: leg did no I/O — identity check vacuous"));
+    }
+    check_identity(label, &before, delta)
+}
+
+/// Journaled pager for the profiled legs (WAL attached so commit/sync and
+/// read-repair activity shows up in the WAL counters too).
+fn journaled_pager(block_size: usize) -> SharedPager {
+    let pager = Pager::new(PagerConfig::with_block_size(block_size));
+    pager.attach_journal(Wal::new(
+        block_size,
+        WalConfig {
+            sync_every: 4,
+            checkpoint_every: 8,
+        },
+    ));
+    pager
+}
+
+/// Standalone LIDF leg: the allocator's own phase spans must attribute all
+/// of its I/O even when no scheme-level op span is open.
+fn profile_lidf(seed: u64) -> Result<(), String> {
+    let before = mark();
+    let pager = Pager::new(PagerConfig::with_block_size(256).with_pool(4));
+    let stats0 = pager.stats();
+    let mut lidf: Lidf<BlockPtrRecord> = Lidf::new(pager.clone());
+    let mut lids = Vec::new();
+    let mut state = seed;
+    for i in 0..200u64 {
+        let r = boxes_core::pager::splitmix64(state ^ i);
+        state = r;
+        if i % 5 == 4 && lids.len() > 8 {
+            let victim = lids.swap_remove(usize::try_from(r).unwrap_or(0) % lids.len());
+            lidf.free(victim);
+        } else {
+            lids.push(lidf.alloc(BlockPtrRecord::new(BlockId(
+                u32::try_from(r & 0xffff).unwrap_or(0),
+            ))));
+        }
+    }
+    for lid in &lids {
+        let _ = lidf.read(*lid);
+        let _ = lidf.is_live(*lid);
+    }
+    let mut n = 0u64;
+    lidf.scan(|_, _| n += 1);
+    if n != lids.len() as u64 {
+        return Err(format!(
+            "lidf: scan saw {n} live records, expected {}",
+            lids.len()
+        ));
+    }
+    let delta = pager.stats().since(&stats0);
+    if delta.total() == 0 {
+        return Err("lidf: leg did no I/O — identity check vacuous".into());
+    }
+    check_identity("lidf", &before, delta)
+}
+
+/// Faulty leg: in-budget transient errors, latency stalls and bit rot over
+/// a journaled W-BOX workload. The retries, repairs and backoff ticks the
+/// fault service generates must be attributed to the operation span that
+/// was open when the fault fired — fault-service I/O is not exempt from
+/// the identity.
+fn profile_faulty(seed: u64) -> Result<(), String> {
+    let block_size = 1024;
+    for derivation in 0..8u64 {
+        let before = mark();
+        let pager = journaled_pager(block_size);
+        let plan = FaultPlan::new(FaultPlanConfig {
+            read_error_rate: 3000,
+            write_error_rate: 3000,
+            bit_flip_rate: 1200,
+            latency_rate: 1500,
+            ..FaultPlanConfig::quiet(
+                seed.wrapping_add(derivation.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                block_size,
+            )
+        });
+        pager.attach_fault_injector(plan.clone());
+        pager.set_retry_policy(RetryPolicy {
+            budget: BUDGET,
+            ..RetryPolicy::default()
+        });
+        let stats0 = pager.stats();
+        let scheme = WBoxScheme::new(pager.clone(), WBoxConfig::from_block_size(block_size));
+        let stream = scattered(120, 80);
+        let mut driver = DocumentDriver::load(scheme, &stream.base);
+        for op in &stream.ops {
+            driver.apply(op);
+        }
+        let delta = pager.stats().since(&stats0);
+        check_identity("faulty/wbox", &before, delta)?;
+        // The leg is only meaningful if the plan actually made the fault
+        // counters move; a quiet roll retries with a derived seed.
+        if delta.retries > 0 && delta.repairs > 0 {
+            return Ok(());
+        }
+    }
+    Err("faulty/wbox: no derivation produced both retries and repairs".into())
+}
+
+/// Write `target/trace-report.json` from the aggregate tracer state.
+fn write_trace_report(root: &Path) -> Result<(), String> {
+    let report = trace::report();
+    let path = root.join("target").join("trace-report.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&path, report.to_json())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("  profile: wrote {}", path.display());
+    Ok(())
+}
+
+/// Write `target/BENCH_boxes.json`: the reduced-lineup perf trajectory.
+fn write_bench_trajectory(root: &Path) -> Result<(), String> {
+    let lineup = [
+        SchemeKind::WBox,
+        SchemeKind::WBoxO,
+        SchemeKind::BBox,
+        SchemeKind::Naive(8),
+    ];
+    let block_size = 1024;
+    let conc = concentrated(1200, 400);
+    let scat = scattered(1200, 300);
+    let conc_results = run_schemes(&lineup, &conc, block_size);
+    let scat_results = run_schemes(&lineup, &scat, block_size);
+    let workloads = [
+        JsonWorkload {
+            name: "concentrated",
+            results: &conc_results,
+        },
+        JsonWorkload {
+            name: "scattered",
+            results: &scat_results,
+        },
+    ];
+    let json = bench_json(block_size, &workloads);
+    let path = root.join("target").join("BENCH_boxes.json");
+    write_bench_json(&path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("  profile: wrote {}", path.display());
+    Ok(())
+}
+
+/// Run every attribution leg; prints one line per leg and returns overall
+/// success.
+pub(crate) fn profile_lint(seed: u64, root: &Path) -> bool {
+    trace::reset();
+
+    let mut checks: Vec<(String, Result<(), String>)> = Vec::new();
+
+    // Every scheme variant over a seeded stream, journaled.
+    let stream_c = concentrated(160, 90);
+    let stream_s = scattered(200, 70);
+
+    let p = journaled_pager(1024);
+    checks.push((
+        "wbox/concentrated".into(),
+        profile_stream(
+            "wbox/concentrated",
+            p.clone(),
+            WBoxScheme::new(p.clone(), WBoxConfig::from_block_size(1024)),
+            &stream_c,
+        ),
+    ));
+    let p = journaled_pager(1024);
+    checks.push((
+        "wbox-pair/scattered".into(),
+        profile_stream(
+            "wbox-pair/scattered",
+            p.clone(),
+            WBoxScheme::new(p.clone(), WBoxConfig::from_block_size_paired(1024)),
+            &stream_s,
+        ),
+    ));
+    let p = journaled_pager(1024);
+    checks.push((
+        "wbox-ordinal/concentrated".into(),
+        profile_stream(
+            "wbox-ordinal/concentrated",
+            p.clone(),
+            WBoxScheme::new(p.clone(), WBoxConfig::from_block_size(1024).with_ordinal()),
+            &stream_c,
+        ),
+    ));
+    let p = journaled_pager(256);
+    checks.push((
+        "bbox/concentrated".into(),
+        profile_stream(
+            "bbox/concentrated",
+            p.clone(),
+            BBoxScheme::new(p.clone(), BBoxConfig::from_block_size(256)),
+            &stream_c,
+        ),
+    ));
+    let p = journaled_pager(256);
+    checks.push((
+        "bbox-ordinal/scattered".into(),
+        profile_stream(
+            "bbox-ordinal/scattered",
+            p.clone(),
+            BBoxScheme::new(p.clone(), BBoxConfig::from_block_size(256).with_ordinal()),
+            &stream_s,
+        ),
+    ));
+    let p = journaled_pager(1024);
+    checks.push((
+        "naive-8/scattered".into(),
+        profile_stream(
+            "naive-8/scattered",
+            p.clone(),
+            NaiveScheme::new(p.clone(), NaiveConfig { extra_bits: 8 }),
+            &stream_s,
+        ),
+    ));
+
+    // Allocator and fault-service legs.
+    checks.push(("lidf/standalone".into(), profile_lidf(seed)));
+    checks.push(("faulty/wbox".into(), profile_faulty(seed)));
+
+    let mut ok = true;
+    for (name, result) in checks {
+        match result {
+            Ok(()) => println!("  profile: {name:<28} ok"),
+            Err(msg) => {
+                eprintln!("  profile: {name:<28} FAILED\n    {msg}");
+                ok = false;
+            }
+        }
+    }
+
+    // Artifacts: the span/counter report over everything profiled above,
+    // then the bench trajectory (run last — it is not identity-checked).
+    if let Err(msg) = write_trace_report(root) {
+        eprintln!("  profile: trace-report FAILED: {msg}");
+        ok = false;
+    }
+    if let Err(msg) = write_bench_trajectory(root) {
+        eprintln!("  profile: bench trajectory FAILED: {msg}");
+        ok = false;
+    }
+    ok
+}

@@ -13,7 +13,7 @@
 //!    token outside comments;
 //! 4. a `missing_docs` sweep: every crate root must carry
 //!    `#![warn(missing_docs)]`;
-//! 5. the **source lint**: the `boxes-lint` BX001–BX006 rule catalog
+//! 5. the **source lint**: the `boxes-lint` BX001–BX009 rule catalog
 //!    (pager I/O discipline, filesystem containment, panic freedom, cast
 //!    safety, `#[must_use]` reports, public-item docs) over every crate,
 //!    against the checked-in `lint.toml` baseline. The JSON report lands in
@@ -26,6 +26,13 @@
 //!    performs a negative control — a block is deliberately corrupted
 //!    through the pager and the audit must *report* it (typed violation,
 //!    no panic) — so a silently broken auditor fails the gate too.
+//! 7. a **profile/attribution pass** (`--profile-only` runs just this
+//!    step): seeded workloads are replayed through every scheme with the
+//!    `boxes-trace` span layer live, and the accounting identity is
+//!    enforced — every pager-counted I/O (including fault-service retries,
+//!    repairs and backoff ticks) must be attributed to an open operation
+//!    span, with no spans leaked. The pass writes the deterministic
+//!    `target/trace-report.json` and `target/BENCH_boxes.json` artifacts.
 //!
 //! Exit status is zero only when every step passes.
 
@@ -39,7 +46,8 @@ fn main() {
         Some("analyze") => analyze::analyze(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask analyze [--seed N] [--skip-cargo] [--lint-only] [--baseline]"
+                "usage: cargo xtask analyze [--seed N] [--skip-cargo] [--lint-only] \
+                 [--chaos-only] [--profile-only] [--baseline]"
             );
             2
         }
