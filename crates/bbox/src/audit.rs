@@ -12,6 +12,7 @@ use crate::node::Node;
 use crate::tree::BBox;
 use boxes_audit::{AuditReport, Auditable, Violation, ViolationKind};
 use boxes_lidf::Lid;
+use boxes_pager::codec::usize_to_u64;
 use boxes_pager::BlockId;
 use std::collections::{HashMap, HashSet};
 
@@ -128,7 +129,7 @@ impl<'a> BAuditor<'a> {
                         }
                     }
                 }
-                Some((lids.len() as u64, 1))
+                Some((usize_to_u64(lids.len()), 1))
             }
             Node::Internal { entries, .. } => {
                 if entries.len() > config.internal_capacity {

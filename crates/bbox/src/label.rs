@@ -1,5 +1,7 @@
 //! Multi-component B-BOX labels.
 
+use boxes_pager::codec::usize_to_u32;
+
 /// A B-BOX label: the vector of 0-based child ordinals along the
 /// root-to-leaf path, root component first (e.g. `(1, 3, 2)` in Figure 4).
 ///
@@ -30,7 +32,8 @@ impl PathLabel {
         }
         let root_bits = ceil_log2(root_fanout.max(2));
         let rest_bits = ceil_log2(fanout.max(2));
-        root_bits + (self.0.len() as u32 - 1) * rest_bits
+        let rest = usize_to_u32(self.0.len() - 1).unwrap_or(u32::MAX);
+        root_bits + rest * rest_bits
     }
 
     /// Pack into a single `u64` when it fits in `total_bits ≤ 64` using the
@@ -42,10 +45,10 @@ impl PathLabel {
             return None;
         }
         let rest_bits = ceil_log2(fanout.max(2));
-        let mut packed = self.0[0] as u64;
+        let mut packed = u64::from(self.0[0]);
         for &c in &self.0[1..] {
-            debug_assert!((c as u64) < (1u64 << rest_bits));
-            packed = (packed << rest_bits) | c as u64;
+            debug_assert!(u64::from(c) < (1u64 << rest_bits));
+            packed = (packed << rest_bits) | u64::from(c);
         }
         Some(packed)
     }

@@ -422,10 +422,10 @@ impl BBox {
     /// their lowest common ancestor — often far cheaper than two lookups
     /// when the labels are close in document order.
     pub fn compare(&self, a: Lid, b: Lid) -> Ordering {
+        let _span = OpSpan::op(self.trace_tag(), "compare");
         if a == b {
             return Ordering::Equal;
         }
-        let _span = OpSpan::op(self.trace_tag(), "compare");
         let leaf_a = self.lidf.read(a).block;
         let leaf_b = self.lidf.read(b).block;
         if leaf_a == leaf_b {

@@ -21,6 +21,13 @@
 //! are *policy* — they are not stale-checked. `[[allow]]` entries suppress a
 //! single rule in a single file (optionally narrowed to lines whose text
 //! contains `contains`) and *are* stale-checked.
+//!
+//! A `[limits]` table caps the baseline itself:
+//!
+//! ```toml
+//! [limits]
+//! max_baselined = 212   # gate fails if the suppressed total exceeds this
+//! ```
 
 use std::collections::BTreeMap;
 
@@ -46,6 +53,9 @@ pub struct Config {
     pub rule_allow_paths: BTreeMap<String, Vec<String>>,
     /// All `[[allow]]` point suppressions.
     pub allows: Vec<AllowEntry>,
+    /// `[limits] max_baselined` — hard ceiling on the suppressed-finding
+    /// total. `None` means uncapped.
+    pub max_baselined: Option<usize>,
 }
 
 /// A malformed `lint.toml`.
@@ -69,6 +79,7 @@ enum Section {
     None,
     Rule(String),
     Allow(usize),
+    Limits,
 }
 
 impl Config {
@@ -102,6 +113,8 @@ impl Config {
                 let inner = inner.trim();
                 if let Some(rule) = inner.strip_prefix("rules.") {
                     section = Section::Rule(rule.trim().to_string());
+                } else if inner == "limits" {
+                    section = Section::Limits;
                 } else {
                     return Err(ConfigError {
                         line: line_no,
@@ -140,6 +153,19 @@ impl Config {
                         .entry(rule.clone())
                         .or_default()
                         .extend(paths);
+                }
+                Section::Limits => {
+                    if key != "max_baselined" {
+                        return Err(ConfigError {
+                            line: line_no,
+                            message: format!("unknown key `{key}` in [limits]"),
+                        });
+                    }
+                    let n: usize = value.parse().map_err(|_| ConfigError {
+                        line: line_no,
+                        message: "max_baselined must be an integer".to_string(),
+                    })?;
+                    cfg.max_baselined = Some(n);
                 }
                 Section::Allow(i) => {
                     let s = parse_string(value).ok_or_else(|| ConfigError {
@@ -342,6 +368,14 @@ justification = "contract panic pinned by should_panic test"
         let text = "[rules.BX001]\nallow_paths = [\n  \"crates/pager/src\", # io\n  \"crates/lidf/src\",\n]\n";
         let cfg = Config::parse(text).expect("valid");
         assert_eq!(cfg.rule_allow_paths["BX001"].len(), 2);
+    }
+
+    #[test]
+    fn limits_table_parses() {
+        let cfg = Config::parse("[limits]\nmax_baselined = 212\n").expect("valid");
+        assert_eq!(cfg.max_baselined, Some(212));
+        assert!(Config::parse("[limits]\nmax_baselined = \"lots\"\n").is_err());
+        assert!(Config::parse("[limits]\nother = 1\n").is_err());
     }
 
     #[test]

@@ -93,6 +93,16 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Width in bytes of the UTF-8 sequence whose leading byte is `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xE0..=0xEF => 3,
+        0xF0..=0xFF => 4,
+        _ => 2,
+    }
+}
+
 fn is_ident_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
 }
@@ -179,9 +189,12 @@ fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
             TokenKind::Char
         }
         Some(c) if is_ident_start(c) => {
-            if cur.peek(2) == Some(b'\'') {
-                // 'x' — a plain one-byte character literal.
-                cur.bump_n(3);
+            // The first char may be multi-byte (`'é'`): measure its UTF-8
+            // width so the closing-quote probe lands after it, not inside it.
+            let len = utf8_len(c);
+            if cur.peek(1 + len) == Some(b'\'') {
+                // 'x' / 'é' — a plain character literal of any width.
+                cur.bump_n(2 + len);
                 TokenKind::Char
             } else {
                 cur.bump(); // `'`
@@ -365,6 +378,20 @@ mod tests {
         assert_eq!(chars.len(), 2);
         assert_eq!(chars[0].1, "'x'");
         assert_eq!(chars[1].1, "'\\''");
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_char_not_lifetime() {
+        let toks = kinds("let e = 'é'; let emoji = '😀'; fn g<'état>() {}");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, ["'é'", "'😀'"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'état"));
     }
 
     #[test]

@@ -5,56 +5,114 @@
 //! means *discipline*: every disk touch flows through the accounted
 //! [`Pager`] entry points and label/offset arithmetic never silently
 //! truncates. Generic tools cannot see those invariants; this crate encodes
-//! them as the BX001–BX009 rule catalog (see [`rules`]) over a hand-rolled
-//! lexer ([`lexer`]) and a lightweight token-stream model ([`model`]) — no
-//! rustc internals, no external dependencies.
+//! them as the BX001–BX014 rule catalog (see [`rules`]) over a hand-rolled
+//! lexer ([`lexer`]) and a lightweight token-stream model ([`model`]).
+//!
+//! Two analysis tiers share that substrate:
+//!
+//! * **Token-stream rules** (BX001–BX009) are pure per-file functions.
+//! * **Call-graph rules** (BX010–BX014) run over an [`Analysis`]: an
+//!   item-level parse ([`parser`]) of every file, a heuristic workspace
+//!   call graph ([`callgraph`]) with explicit unknown edges so reachability
+//!   stays sound-by-default, and per-function dataflow summaries
+//!   ([`dataflow`]). No rustc internals, no external dependencies.
 //!
 //! Findings are [`report::Diagnostic`]s with `file:line:col` spans. A
 //! checked-in baseline (`lint.toml`, parsed by [`config`]) suppresses
-//! reviewed findings; every entry needs a justification, and an entry that
-//! no longer matches anything fails the gate so the baseline can only
-//! shrink.
+//! reviewed findings; every entry needs a justification, an entry that no
+//! longer matches anything fails the gate, and `[limits] max_baselined`
+//! caps the suppressed total so the baseline can only shrink.
 //!
 //! [`Pager`]: https://docs.rs/boxes-pager
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The workspace call graph with explicit unknown edges.
+pub mod callgraph;
 /// The `lint.toml` suppression baseline: parser and matching policy.
 pub mod config;
+/// Per-function dataflow: error propagation, borrow liveness, span order.
+pub mod dataflow;
 /// The hand-rolled, panic-free Rust lexer.
 pub mod lexer;
 /// Token-stream source model (brackets, test regions, item scopes).
 pub mod model;
+/// Item-level parser: functions, impl blocks, shared-state sites.
+pub mod parser;
 /// Diagnostics plus the human and JSON renderers.
 pub mod report;
-/// The BX001–BX009 rule catalog.
+/// The BX001–BX014 rule catalog.
 pub mod rules;
 
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use config::Config;
+use dataflow::FnSummary;
 use model::SourceFile;
+use parser::ParsedFile;
 use report::{Diagnostic, Outcome};
 
-/// Lint a single source text under its workspace-relative `path`.
+/// The whole-workspace analysis the BX010–BX014 rules run over.
+pub struct Analysis {
+    /// Every scanned file, token-stream form.
+    pub files: Vec<SourceFile>,
+    /// Item-level parse of each file, parallel to `files`.
+    pub parsed: Vec<ParsedFile>,
+    /// The workspace call graph over all parsed functions.
+    pub graph: CallGraph,
+    /// Dataflow summaries, parallel to `graph.fns`.
+    pub summaries: Vec<FnSummary>,
+}
+
+impl Analysis {
+    /// Parse, link, and summarize a set of files.
+    pub fn build(files: Vec<SourceFile>) -> Analysis {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| parser::parse_file(f, i))
+            .collect();
+        let graph = CallGraph::build(&files, &parsed);
+        let summaries = dataflow::summarize(&graph, &files);
+        Analysis {
+            files,
+            parsed,
+            graph,
+            summaries,
+        }
+    }
+
+    /// The concurrency-readiness inventory as JSON
+    /// (`target/sync-readiness.json`).
+    pub fn sync_readiness_json(&self) -> String {
+        rules::graph::sync_readiness_json(self)
+    }
+}
+
+/// Lint a single source text under its workspace-relative `path`, running
+/// both rule tiers (the call graph sees just this one file).
 ///
 /// Applies the per-rule `allow_paths` policy from `config` but not the
 /// `[[allow]]` baseline — feed the result to [`apply_baseline`] for that.
 pub fn lint_source(path: &str, text: &str, config: &Config) -> Vec<Diagnostic> {
     let file = SourceFile::parse(path, text);
     let fns = rules::collect_report_fns(&file);
+    let analysis = Analysis::build(vec![file]);
     let mut diags = Vec::new();
-    rules::run_all(&file, &fns, &mut diags);
+    rules::run_all(&analysis.files[0], &fns, &mut diags);
+    rules::run_graph(&analysis, &mut diags);
     diags.retain(|d| !config.rule_allows_path(d.rule, &d.path));
     sort_diags(&mut diags);
     diags
 }
 
 /// Partition findings into suppressed/unsuppressed against the `[[allow]]`
-/// baseline and surface entries that matched nothing (stale suppressions).
+/// baseline, surface entries that matched nothing (stale suppressions), and
+/// enforce the `[limits] max_baselined` budget.
 pub fn apply_baseline(diags: Vec<Diagnostic>, config: &Config) -> Outcome {
     let mut matched = vec![false; config.allows.len()];
     let mut outcome = Outcome::default();
@@ -83,12 +141,23 @@ pub fn apply_baseline(diags: Vec<Diagnostic>, config: &Config) -> Outcome {
             ));
         }
     }
+    if let Some(max) = config.max_baselined {
+        if outcome.suppressed.len() > max {
+            outcome.budget_violations.push(format!(
+                "baseline budget exceeded: {} suppressed findings > max_baselined = {} \
+                 — fix findings instead of growing the baseline",
+                outcome.suppressed.len(),
+                max
+            ));
+        }
+    }
     outcome
 }
 
 /// Lint the whole workspace rooted at `root`: every `.rs` file under
 /// `crates/*/src` and `xtask/src` (integration tests, fixtures, and
-/// `third_party/` are out of scope), with the baseline applied.
+/// `third_party/` are out of scope), with both rule tiers and the baseline
+/// applied.
 pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Outcome> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
@@ -106,26 +175,53 @@ pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Outcome> {
     }
     files.sort();
 
-    let mut parsed: Vec<SourceFile> = Vec::new();
+    let mut sources: Vec<SourceFile> = Vec::new();
     for path in &files {
         let text = std::fs::read_to_string(path)?;
-        parsed.push(SourceFile::parse(rel_path(root, path), text));
+        sources.push(SourceFile::parse(rel_path(root, path), text));
     }
     let mut fns: BTreeSet<String> = BTreeSet::new();
-    for f in &parsed {
+    for f in &sources {
         fns.extend(rules::collect_report_fns(f));
     }
+    let analysis = Analysis::build(sources);
     let mut diags = Vec::new();
-    for f in &parsed {
-        let mut file_diags = Vec::new();
-        rules::run_all(f, &fns, &mut file_diags);
-        file_diags.retain(|d| !config.rule_allows_path(d.rule, &d.path));
-        diags.extend(file_diags);
+    for f in &analysis.files {
+        rules::run_all(f, &fns, &mut diags);
     }
+    rules::run_graph(&analysis, &mut diags);
+    diags.retain(|d| !config.rule_allows_path(d.rule, &d.path));
     sort_diags(&mut diags);
     let mut outcome = apply_baseline(diags, config);
-    outcome.files_scanned = parsed.len();
+    outcome.files_scanned = analysis.files.len();
     Ok(outcome)
+}
+
+/// Build the whole-workspace [`Analysis`] without running any rules — the
+/// driver uses this to emit `target/sync-readiness.json` alongside the lint
+/// report.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let xtask_src = root.join("xtask").join("src");
+    if xtask_src.is_dir() {
+        collect_rs(&xtask_src, &mut files)?;
+    }
+    files.sort();
+    let mut sources: Vec<SourceFile> = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)?;
+        sources.push(SourceFile::parse(rel_path(root, path), text));
+    }
+    Ok(Analysis::build(sources))
 }
 
 /// Load and parse `lint.toml` from the workspace root. A missing file is an
@@ -209,5 +305,20 @@ mod tests {
         assert!(diags.is_empty());
         let diags = lint_source("crates/a/src/lib.rs", "fn f() { x.unwrap(); }", &cfg);
         assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn baseline_budget_enforced() {
+        let cfg = Config::parse(
+            "[limits]\nmax_baselined = 0\n\
+             [[allow]]\nrule = \"BX003\"\npath = \"crates/a/src/lib.rs\"\n\
+             justification = \"temporary\"\n",
+        )
+        .expect("valid config");
+        let outcome = apply_baseline(vec![diag("BX003", "crates/a/src/lib.rs", "x")], &cfg);
+        assert_eq!(outcome.suppressed.len(), 1);
+        assert_eq!(outcome.budget_violations.len(), 1);
+        assert!(!outcome.is_clean());
+        assert!(outcome.to_json().contains("baseline budget exceeded"));
     }
 }

@@ -36,20 +36,29 @@ pub struct Outcome {
     pub suppressed: Vec<Diagnostic>,
     /// `lint.toml` lines of `[[allow]]` entries that matched nothing.
     pub stale_allows: Vec<String>,
+    /// Baseline-budget violations: the suppressed total exceeded
+    /// `[limits] max_baselined` — the baseline may only shrink.
+    pub budget_violations: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Wall-clock milliseconds the lint pass took (set by the driver;
+    /// zero when unmeasured).
+    pub lint_pass_ms: u128,
 }
 
 impl Outcome {
     /// Did the gate pass?
     pub fn is_clean(&self) -> bool {
-        self.unsuppressed.is_empty() && self.stale_allows.is_empty()
+        self.unsuppressed.is_empty()
+            && self.stale_allows.is_empty()
+            && self.budget_violations.is_empty()
     }
 
     /// The JSON report (pretty-printed, stable key order).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         push_kv_num(&mut out, 1, "files_scanned", self.files_scanned, true);
+        out.push_str(&format!("  \"lint_pass_ms\": {},\n", self.lint_pass_ms));
         push_kv_num(
             &mut out,
             1,
@@ -58,6 +67,14 @@ impl Outcome {
             true,
         );
         push_kv_num(&mut out, 1, "suppressed_count", self.suppressed.len(), true);
+        out.push_str("  \"budget_violations\": [");
+        for (i, s) in self.budget_violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(s));
+        }
+        out.push_str("],\n");
         out.push_str("  \"stale_allows\": [");
         for (i, s) in self.stale_allows.iter().enumerate() {
             if i > 0 {
@@ -104,7 +121,7 @@ fn push_diag_array(out: &mut String, key: &str, diags: &[Diagnostic], comma: boo
     out.push_str(&format!("  ]{}\n", if comma { "," } else { "" }));
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -140,6 +157,7 @@ mod tests {
             suppressed: Vec::new(),
             stale_allows: vec!["lint.toml:12".to_string()],
             files_scanned: 42,
+            ..Outcome::default()
         };
         let json = outcome.to_json();
         assert!(json.contains("\"files_scanned\": 42"));

@@ -1,0 +1,269 @@
+//! The BX rule catalog.
+//!
+//! Two rule families share this module's helpers:
+//!
+//! * [`stream`] — BX001–BX009, pure functions over one [`SourceFile`]'s
+//!   token stream (no cross-file knowledge).
+//! * [`graph`] — BX010–BX014, functions over the whole-workspace
+//!   [`Analysis`](crate::Analysis): call graph plus dataflow summaries.
+//!
+//! Every rule errs on the side of firing — a finding can be baselined with
+//! a justification; a silent miss cannot.
+
+/// BX010–BX014: call-graph and dataflow rules over the whole workspace.
+pub mod graph;
+/// BX001–BX009: per-file token-stream rules.
+pub mod stream;
+
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+use crate::report::Diagnostic;
+
+pub use stream::collect_report_fns;
+
+/// All stable rule IDs, in catalog order.
+pub const RULE_IDS: [&str; 14] = [
+    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
+    "BX011", "BX012", "BX013", "BX014",
+];
+
+/// Rationale and fix recipe for one rule, rendered by
+/// `cargo xtask analyze --explain BXnnn`.
+pub struct RuleDoc {
+    /// Stable rule ID.
+    pub id: &'static str,
+    /// One-line invariant statement.
+    pub title: &'static str,
+    /// Why the workspace enforces it (ties back to the paper's claims).
+    pub rationale: &'static str,
+    /// How to fix a finding (or when to baseline it instead).
+    pub fix: &'static str,
+}
+
+/// The full rule documentation table.
+pub const RULE_DOCS: [RuleDoc; 14] = [
+    RuleDoc {
+        id: "BX001",
+        title: "pager I/O (`read/write/alloc/free`) only in designated I/O modules",
+        rationale: "Every complexity claim (Thm 4.4, Thm 5.1) counts pager block transfers. \
+                    A direct pager call outside the accounted storage modules is I/O the \
+                    measurements never see.",
+        fix: "Route the access through the owning scheme's API. If the module genuinely is \
+              a storage module, add it to [rules.BX001] allow_paths with a comment.",
+    },
+    RuleDoc {
+        id: "BX002",
+        title: "`std::fs` only behind the pager's file backend and tooling",
+        rationale: "The pager is the paper's disk model; side-channel file I/O bypasses \
+                    block-transfer accounting entirely.",
+        fix: "Use `Pager`/`FileStore` for data. Report/artifact writers belong in xtask or \
+              crates/bench, which are policy-allowed.",
+    },
+    RuleDoc {
+        id: "BX003",
+        title: "no `unwrap/expect/panic!/unreachable!` in non-test library code",
+        rationale: "Auditors must report corruption, not crash on it; a panic mid-update can \
+                    strand a half-relabeled structure the audit can no longer inspect.",
+        fix: "Return a typed error or restructure so the invariant is checked once. A \
+              documented contract panic gets a [[allow]] with the invariant as justification.",
+    },
+    RuleDoc {
+        id: "BX004",
+        title: "no `as` casts to integer types",
+        rationale: "Label-bit budgets are load-bearing (naive-k exists because labels \
+                    overflow); a silent truncation fabricates exactly the overflow BOXes \
+                    avoid.",
+        fix: "Use `From`/`TryFrom` or the checked helpers in `pager::codec` \
+              (`u32_to_usize`, `usize_to_u64`, `usize_to_u32`, `u64_to_index`, …). \
+              Provably-safe casts get per-file [[allow]] entries.",
+    },
+    RuleDoc {
+        id: "BX005",
+        title: "`AuditReport`/`IoStats` producers are `#[must_use]`, never dropped",
+        rationale: "A dropped audit report is a skipped invariant check; dropped I/O stats \
+                    un-measure the experiment.",
+        fix: "Add `#[must_use]` to the producer; consume or explicitly assert on the value \
+              at call sites.",
+    },
+    RuleDoc {
+        id: "BX006",
+        title: "every `pub` item carries a doc comment",
+        rationale: "The repo is a paper reproduction — an undocumented public surface loses \
+                    the mapping back to the paper's definitions.",
+        fix: "Write a `///` comment tying the item to its paper construct, or restrict \
+              visibility to `pub(crate)`.",
+    },
+    RuleDoc {
+        id: "BX007",
+        title: "no wall-clock reads (`std::time`) in library code",
+        rationale: "Crash-recovery sweeps and experiments replay seeded workloads and demand \
+                    bit-identical results; a clock read breaks the committed-prefix oracle.",
+        fix: "Pass logical ticks or counters in. Timing belongs to crates/bench and xtask \
+              (policy-allowed).",
+    },
+    RuleDoc {
+        id: "BX008",
+        title: "pager/WAL I/O `Result`s are handled, never `let _ =` / bare-`;` / `.ok();`",
+        rationale: "A swallowed `PagerError` is a swallowed disk fault: the structure \
+                    silently diverges from media and the next audit reads fiction.",
+        fix: "Propagate with `?`, branch on the value, or park the failure in degraded \
+              mode via the documented gate-first pattern.",
+    },
+    RuleDoc {
+        id: "BX009",
+        title: "trace spans are bound to named locals, never dropped or leaked",
+        rationale: "An `OpSpan` is an RAII attribution window; an unbound constructor drops \
+                    it immediately and `mem::forget` skews every enclosing span.",
+        fix: "Bind the span: `let _span = OpSpan::op(…)`. Never `mem::forget` an RAII \
+              guard in library code.",
+    },
+    RuleDoc {
+        id: "BX010",
+        title: "transitive pager-I/O discipline: no path to the raw disk surface that \
+                bypasses `Pager`",
+        rationale: "BX001 only sees direct calls. The call graph extends the same invariant \
+                    through helpers: a function outside the pager crate must not reach \
+                    `FileStore`/`DiskImage`/`DiskBlock` methods except through the blessed \
+                    `Pager` API, or block transfers escape accounting transitively.",
+        fix: "Insert the `Pager` surface between the helper chain and the raw store. \
+              Deliberate corruption injection (faultlib, chaos tooling) is policy-allowed \
+              via [rules.BX010] allow_paths.",
+    },
+    RuleDoc {
+        id: "BX011",
+        title: "concurrency-readiness inventory: every `RefCell`/`Cell`/`Rc`/\
+                `thread_local!`/`static mut` in library crates is a tracked finding",
+        rationale: "ROADMAP item 1 (concurrent multi-session core) is blocked by !Send/!Sync \
+                    shared state. Each site is inventoried — with its containing type and \
+                    the public APIs that reach it — in target/sync-readiness.json, the \
+                    burndown the concurrency PR consumes. The baseline can only shrink, so \
+                    new shared state cannot land unnoticed.",
+        fix: "Either replace the construct with a Sync-ready design (latch-per-frame, \
+              atomics, owned state) or add a [[allow]] naming the refactor that will \
+              retire it. The JSON report tracks the burndown either way.",
+    },
+    RuleDoc {
+        id: "BX012",
+        title: "no swallowed `PagerError`/`WalError` Results, transitively",
+        rationale: "BX008 guards a fixed list of entry-point names; BX012 follows the call \
+                    graph — any function that produces or `?`-propagates an I/O-error \
+                    Result is protected, so wrapping an I/O call in a helper no longer \
+                    hides a swallowed disk fault.",
+        fix: "Propagate with `?`, handle both arms meaningfully, or document why the error \
+              is ignorable in a [[allow]] justification.",
+    },
+    RuleDoc {
+        id: "BX013",
+        title: "latch-discipline scaffold: no `borrow_mut()` while another borrow of the \
+                same field is live",
+        rationale: "Overlapping `RefCell` borrow windows panic today and deadlock tomorrow \
+                    — the latch-per-frame refactor maps each borrow window onto a latch \
+                    hold. Non-overlapping windows are the static precondition for a cycle-\
+                    free latch order.",
+        fix: "Narrow the first borrow's scope (inner block or explicit `drop`) before \
+              taking the second, or split the state so the borrows touch different cells.",
+    },
+    RuleDoc {
+        id: "BX014",
+        title: "span balance: `OpSpan::op` opens before any fallible work in its function",
+        rationale: "The profile gate enforces that every pager I/O lands in an open span. \
+                    An op span constructed after a `?`/`return` leaves early-return paths \
+                    (including fault-service retries) unattributed, which the attribution \
+                    identity then reports as someone else's I/O.",
+        fix: "Open the op span as the first statement of the public entry point — before \
+              gates, journaled() checks, or any `?`. Phase spans are exempt.",
+    },
+];
+
+/// Look up a rule's documentation by ID.
+pub fn rule_doc(id: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.id.eq_ignore_ascii_case(id))
+}
+
+/// Run the token-stream rules (BX001–BX009) against one file.
+pub fn run_all(
+    file: &SourceFile,
+    must_use_fns: &std::collections::BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    stream::run_all(file, must_use_fns, out);
+}
+
+/// Run the call-graph/dataflow rules (BX010–BX014) against a whole
+/// analysis.
+pub fn run_graph(analysis: &crate::Analysis, out: &mut Vec<Diagnostic>) {
+    graph::run_all(analysis, out);
+}
+
+// ------------------------------------------------------------------ helpers
+// Shared between both rule families (and the dataflow consumption
+// classifier, which takes `chain_start` as an injected fn).
+
+pub(crate) fn push(
+    file: &SourceFile,
+    si: usize,
+    rule: &'static str,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (line, col) = file.stok(si).map(|t| (t.line, t.col)).unwrap_or((0, 0));
+    out.push(Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        col,
+        message,
+        snippet: file.line_snippet(si).to_string(),
+    });
+}
+
+pub(crate) fn is_ident(file: &SourceFile, si: usize, text: &str) -> bool {
+    file.stok(si).is_some_and(|t| t.kind == TokenKind::Ident) && file.stext(si) == text
+}
+
+/// Is sig-index `si` immediately preceded by a `::` (two `:` puncts)?
+pub(crate) fn preceded_by_path_sep(file: &SourceFile, si: usize) -> bool {
+    si >= 2 && file.stext(si - 1) == ":" && file.stext(si - 2) == ":"
+}
+
+/// Walk left from the call ident at `si` over `.`/`::` links, call groups,
+/// and index groups to the first token of the whole receiver chain. `None`
+/// on malformed input.
+pub(crate) fn chain_start(file: &SourceFile, si: usize) -> Option<usize> {
+    let mut start = si; // first token of the current chain element
+    loop {
+        if start == 0 {
+            return Some(0);
+        }
+        let prev = start - 1;
+        if file.stext(prev) == "." || preceded_by_path_sep(file, start) {
+            let link = if file.stext(prev) == "." {
+                prev
+            } else {
+                start - 2
+            };
+            if link == 0 {
+                return None;
+            }
+            let mut elem = link - 1;
+            // Jump over a call/index group: `foo(…).name`, `xs[i].name`.
+            if matches!(file.stext(elem), ")" | "]") {
+                match file.open_of[elem] {
+                    Some(open) => elem = open,
+                    None => return None,
+                }
+                // `foo(…)` — include the callee ident.
+                if elem > 0
+                    && file
+                        .stok(elem - 1)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    elem -= 1;
+                }
+            }
+            start = elem;
+        } else {
+            return Some(start);
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! The BX rule catalog.
+//! The token-stream rule family (BX001–BX009).
 //!
-//! Every rule is a pure function over a [`SourceFile`]. Rules only see
-//! tokens — no types — so each one is written to be precise on this
+//! Every rule here is a pure function over one [`SourceFile`] — no types,
+//! no cross-file knowledge (the call-graph family lives in
+//! [`super::graph`]). Each one is written to be precise on this
 //! workspace's idioms and to err on the side of firing (a finding can be
 //! baselined with a justification; a silent miss cannot).
 //!
@@ -19,14 +20,10 @@
 
 use std::collections::BTreeSet;
 
+use super::{chain_start, is_ident, preceded_by_path_sep, push};
 use crate::lexer::TokenKind;
 use crate::model::{Scope, SourceFile};
 use crate::report::Diagnostic;
-
-/// All stable rule IDs, in catalog order.
-pub const RULE_IDS: [&str; 9] = [
-    "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009",
-];
 
 const INT_TYPES: [&str; 12] = [
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
@@ -65,33 +62,6 @@ pub fn collect_report_fns(file: &SourceFile) -> BTreeSet<String> {
         }
     }
     names
-}
-
-fn push(
-    file: &SourceFile,
-    si: usize,
-    rule: &'static str,
-    message: String,
-    out: &mut Vec<Diagnostic>,
-) {
-    let (line, col) = file.stok(si).map(|t| (t.line, t.col)).unwrap_or((0, 0));
-    out.push(Diagnostic {
-        rule,
-        path: file.path.clone(),
-        line,
-        col,
-        message,
-        snippet: file.line_snippet(si).to_string(),
-    });
-}
-
-fn is_ident(file: &SourceFile, si: usize, text: &str) -> bool {
-    file.stok(si).is_some_and(|t| t.kind == TokenKind::Ident) && file.stext(si) == text
-}
-
-/// Is sig-index `si` immediately preceded by a `::` (two `:` puncts)?
-fn preceded_by_path_sep(file: &SourceFile, si: usize) -> bool {
-    si >= 2 && file.stext(si - 1) == ":" && file.stext(si - 2) == ":"
 }
 
 /// BX001: pager entry points (`read`/`write`/`alloc`/`free`) may only be
@@ -362,48 +332,6 @@ fn is_discarded_statement(file: &SourceFile, si: usize) -> bool {
     }
 }
 
-/// Walk left from the call ident at `si` over `.`/`::` links, call groups,
-/// and index groups to the first token of the whole receiver chain. `None`
-/// on malformed input.
-fn chain_start(file: &SourceFile, si: usize) -> Option<usize> {
-    let mut start = si; // first token of the current chain element
-    loop {
-        if start == 0 {
-            return Some(0);
-        }
-        let prev = start - 1;
-        if file.stext(prev) == "." || preceded_by_path_sep(file, start) {
-            let link = if file.stext(prev) == "." {
-                prev
-            } else {
-                start - 2
-            };
-            if link == 0 {
-                return None;
-            }
-            let mut elem = link - 1;
-            // Jump over a call/index group: `foo(…).name`, `xs[i].name`.
-            if matches!(file.stext(elem), ")" | "]") {
-                match file.open_of[elem] {
-                    Some(open) => elem = open,
-                    None => return None,
-                }
-                // `foo(…)` — include the callee ident.
-                if elem > 0
-                    && file
-                        .stok(elem - 1)
-                        .is_some_and(|t| t.kind == TokenKind::Ident)
-                {
-                    elem -= 1;
-                }
-            }
-            start = elem;
-        } else {
-            return Some(start);
-        }
-    }
-}
-
 /// BX006: every `pub` item in library code carries a doc comment
 /// (token-aware replacement for the old regex sweep; `pub(crate)` and
 /// re-exports are out of scope, as are trait-impl members).
@@ -522,8 +450,10 @@ fn bx007_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 /// Fallible pager/WAL I/O entry points whose `Result` carries the fault
 /// outcome (BX008). The list is name-based, like every rule here: these
-/// names are unique to the storage stack's typed-error surface.
-const IO_RESULT_FNS: [&str; 9] = [
+/// names are unique to the storage stack's typed-error surface. BX012
+/// (the call-graph generalization) skips these names to avoid double
+/// findings on the same line.
+pub(crate) const IO_RESULT_FNS: [&str; 9] = [
     "try_read",
     "try_write",
     "try_alloc",

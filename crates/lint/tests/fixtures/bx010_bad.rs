@@ -1,0 +1,37 @@
+//! BX010 bad: non-pager code reaches the raw store surface, directly and
+//! through a two-hop helper chain, bypassing the blessed `Pager` API.
+
+/// The raw disk surface.
+pub struct FileStore;
+
+impl FileStore {
+    /// Raw block read — a BX010 sink.
+    pub fn read(&self) {}
+    /// Raw torn write — a BX010 sink.
+    pub fn write_torn(&mut self) {}
+}
+
+/// The blessed, accounted I/O surface.
+pub struct Pager;
+
+impl Pager {
+    /// Accounted read: the only sanctioned route to the raw store.
+    pub fn read(&self, s: &FileStore) {
+        s.read();
+    }
+}
+
+// Violation 1: a helper touches the raw store with a typed receiver.
+fn helper(s: &FileStore) {
+    s.read();
+}
+
+// Violation 2: transitive — two hops of indirection must not hide the leak.
+pub fn entry(s: &FileStore) {
+    helper(s);
+}
+
+// Clean: routed through the blessed Pager surface.
+pub fn fine(p: &Pager, s: &FileStore) {
+    p.read(s);
+}

@@ -1,0 +1,30 @@
+//! BX010 clean: every path to the raw store goes through the blessed
+//! `Pager` surface, including helper indirection.
+
+/// The raw disk surface.
+pub struct FileStore;
+
+impl FileStore {
+    /// Raw block read — a BX010 sink.
+    pub fn read(&self) {}
+}
+
+/// The blessed, accounted I/O surface.
+pub struct Pager;
+
+impl Pager {
+    /// Accounted read: the only sanctioned route to the raw store.
+    pub fn read(&self, s: &FileStore) {
+        s.read();
+    }
+}
+
+// Helpers that stay on the accounted path are fine, at any depth.
+fn helper(p: &Pager, s: &FileStore) {
+    p.read(s);
+}
+
+/// Entry point routed through the pager.
+pub fn entry(p: &Pager, s: &FileStore) {
+    helper(p, s);
+}

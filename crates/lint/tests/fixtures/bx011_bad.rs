@@ -1,0 +1,26 @@
+//! BX011 bad: interior-mutability and shared-ownership sites in library
+//! code — each one is a tracked concurrency-readiness finding.
+
+/// A cache full of thread-hostile state.
+pub struct Cache {
+    slots: RefCell<Vec<u8>>,
+    hits: Cell<u64>,
+    shared: Rc<Vec<u8>>,
+}
+
+static mut GLOBAL: u64 = 0;
+
+thread_local! {
+    static LOCAL: RefCell<u8> = RefCell::new(0);
+}
+
+impl Cache {
+    fn touch(&self) {
+        self.slots.borrow();
+    }
+
+    /// Public API that reaches the RefCell through a private helper.
+    pub fn api(&self) {
+        self.touch();
+    }
+}

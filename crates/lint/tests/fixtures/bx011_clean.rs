@@ -1,0 +1,21 @@
+//! BX011 clean: owned state only; test-only interior mutability is exempt.
+
+/// A cache with owned, Sync-ready state.
+pub struct Cache {
+    slots: Vec<u8>,
+    hits: u64,
+}
+
+impl Cache {
+    /// Public API over owned state.
+    pub fn api(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct Scratch {
+        cell: RefCell<u8>,
+    }
+}

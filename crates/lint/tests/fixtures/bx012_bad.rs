@@ -1,0 +1,44 @@
+//! BX012 bad: `Result`s carrying an I/O error type are swallowed — through
+//! a wrapper, so only the transitive analysis can see them.
+
+/// The pager's typed error.
+pub struct PagerError;
+
+fn raw() -> Result<(), PagerError> {
+    Ok(())
+}
+
+// Transitive producer: returns a Result and `?`-propagates an I/O Result.
+fn wraps() -> Result<(), PagerError> {
+    raw()?;
+    Ok(())
+}
+
+/// Wildcard-dropped.
+pub fn drops() {
+    let _ = wraps();
+}
+
+/// Discarded as a bare statement.
+pub fn bare() {
+    wraps();
+}
+
+/// `.ok()`-silenced.
+pub fn silenced() {
+    wraps().ok();
+}
+
+/// Matched with an ignoring error arm.
+pub fn ignored() {
+    match wraps() {
+        Ok(v) => keep(v),
+        Err(_) => {}
+    }
+}
+
+/// Propagation is fine.
+pub fn fine() -> Result<(), PagerError> {
+    wraps()?;
+    Ok(())
+}

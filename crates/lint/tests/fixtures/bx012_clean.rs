@@ -1,0 +1,34 @@
+//! BX012 clean: every I/O-error `Result` is propagated, branched on, or
+//! meaningfully consumed.
+
+/// The pager's typed error.
+pub struct PagerError;
+
+fn raw() -> Result<(), PagerError> {
+    Ok(())
+}
+
+fn wraps() -> Result<(), PagerError> {
+    raw()?;
+    Ok(())
+}
+
+/// Propagated with `?`.
+pub fn propagates() -> Result<(), PagerError> {
+    wraps()?;
+    Ok(())
+}
+
+/// Both arms handled meaningfully.
+pub fn branches() -> u8 {
+    match wraps() {
+        Ok(v) => consume(v),
+        Err(e) => report(e),
+    }
+}
+
+/// Bound and used.
+pub fn binds() -> bool {
+    let outcome = wraps();
+    outcome.is_ok()
+}

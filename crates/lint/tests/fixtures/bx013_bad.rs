@@ -1,0 +1,23 @@
+//! BX013 bad: overlapping `RefCell` borrow windows on the same field — a
+//! panic today, a latch-order violation tomorrow.
+
+/// Frame table with interior mutability.
+pub struct Frames {
+    table: RefCell<Vec<u8>>,
+    other: RefCell<Vec<u8>>,
+}
+
+impl Frames {
+    /// A let-bound mutable borrow is live to end of scope; re-borrowing the
+    /// same field inside that window conflicts.
+    pub fn clash(&self) {
+        let guard = self.table.borrow_mut();
+        self.table.borrow();
+        guard.len();
+    }
+
+    /// Two temporary mutable borrows of the same field in one statement.
+    pub fn temp_clash(&self) {
+        swap(self.other.borrow_mut(), self.other.borrow_mut());
+    }
+}

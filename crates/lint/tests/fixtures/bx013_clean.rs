@@ -1,0 +1,40 @@
+//! BX013 clean: borrow windows are disjoint — dropped, scoped, on distinct
+//! fields, or shared-only.
+
+/// Frame table with interior mutability.
+pub struct Frames {
+    table: RefCell<Vec<u8>>,
+    other: RefCell<Vec<u8>>,
+}
+
+impl Frames {
+    /// Explicit `drop` closes the first window.
+    pub fn dropped(&self) {
+        let guard = self.table.borrow_mut();
+        drop(guard);
+        self.table.borrow();
+    }
+
+    /// An inner scope closes the first window.
+    pub fn scoped(&self) {
+        {
+            let guard = self.table.borrow_mut();
+            guard.len();
+        }
+        self.table.borrow_mut();
+    }
+
+    /// Distinct fields never conflict.
+    pub fn distinct(&self) {
+        let a = self.table.borrow();
+        let b = self.other.borrow_mut();
+        use_both(a, b);
+    }
+
+    /// Shared-with-shared is fine.
+    pub fn shared(&self) {
+        let a = self.table.borrow();
+        self.table.borrow();
+        a.len();
+    }
+}

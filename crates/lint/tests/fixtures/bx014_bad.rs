@@ -1,0 +1,27 @@
+//! BX014 bad: `OpSpan::op` constructed after fallible work — early-return
+//! paths run with no attribution window.
+
+/// A structure with gated operations.
+pub struct Tree;
+
+impl Tree {
+    /// The `?` can exit before the span opens.
+    pub fn late(&self) -> Result<(), PagerError> {
+        self.gate()?;
+        let _span = OpSpan::op("tree", "insert");
+        Ok(())
+    }
+
+    fn gate(&self) -> Result<(), PagerError> {
+        Ok(())
+    }
+}
+
+/// A plain `return` before the span has the same problem.
+pub fn late_return(flag: bool) -> u8 {
+    if flag {
+        return 0;
+    }
+    let _span = OpSpan::op("tree", "query");
+    1
+}

@@ -1,0 +1,19 @@
+//! BX014 clean: the op span opens first; phase spans inside an open window
+//! are exempt.
+
+/// A structure with gated operations.
+pub struct Tree;
+
+impl Tree {
+    /// Span first, then fallible work; later phase spans are refinements.
+    pub fn good(&self) -> Result<(), PagerError> {
+        let _span = OpSpan::op("tree", "insert");
+        self.gate()?;
+        let _phase = OpSpan::phase("split");
+        Ok(())
+    }
+
+    fn gate(&self) -> Result<(), PagerError> {
+        Ok(())
+    }
+}

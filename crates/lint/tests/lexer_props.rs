@@ -1,0 +1,141 @@
+//! Property tests for the hand-rolled lexer: a generated token sequence must
+//! round-trip through `lex` exactly (kinds and texts), and arbitrary source
+//! soup must produce a well-formed, gap-free, deterministic token stream.
+
+use boxes_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// One generated token: its rendered source text plus the expectation.
+#[derive(Clone, Debug)]
+struct GenTok {
+    /// Text as it appears in the source (line comments carry their `\n`).
+    rendered: String,
+    /// Kind the lexer must produce.
+    kind: TokenKind,
+    /// Exact token text the lexer must report (no trailing newline).
+    text: String,
+}
+
+fn tok(kind: TokenKind, text: String) -> GenTok {
+    GenTok {
+        rendered: text.clone(),
+        kind,
+        text,
+    }
+}
+
+/// Raw string literal: prefix, body, and enough hashes that the body cannot
+/// terminate the literal early (`"` followed by >= `hashes` hash marks).
+fn raw_string(prefix: &str, body: &str, extra_hashes: usize) -> GenTok {
+    let bytes = body.as_bytes();
+    let mut required = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' {
+            let run = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+            required = required.max(run + 1);
+        }
+    }
+    let hashes = required + extra_hashes;
+    let text = format!("{prefix}{h}\"{body}\"{h}", h = "#".repeat(hashes),);
+    tok(TokenKind::Str, text)
+}
+
+fn token_strategy() -> impl Strategy<Value = GenTok> {
+    prop_oneof![
+        // Identifiers, raw identifiers, and keywords (keywords are idents).
+        (0usize..1000).prop_map(|n| tok(TokenKind::Ident, format!("x{n}"))),
+        (0usize..1000).prop_map(|n| tok(TokenKind::Ident, format!("r#match{n}"))),
+        Just(tok(TokenKind::Ident, "fn".into())),
+        // Lifetimes vs char literals — the classic ambiguity.
+        (0usize..100).prop_map(|n| tok(TokenKind::Lifetime, format!("'l{n}"))),
+        Just(tok(TokenKind::Lifetime, "'_".into())),
+        (0usize..7).prop_map(|n| {
+            let c = ["'x'", "'\\''", "'\\n'", "'0'", "'é'", "'😀'", "b'z'"][n];
+            tok(TokenKind::Char, c.into())
+        }),
+        // Numbers with bases, underscores, suffixes, exponents.
+        (0usize..5).prop_map(|n| {
+            let c = ["42", "0xFF_u32", "1_000u64", "1.5f64", "2e10"][n];
+            tok(TokenKind::Num, c.into())
+        }),
+        // Plain and prefixed strings, escapes included.
+        (0usize..1000).prop_map(|n| tok(TokenKind::Str, format!("\"s{n}\\\"q\\\\\""))),
+        Just(tok(TokenKind::Str, "b\"bytes\"".into())),
+        Just(tok(TokenKind::Str, "c\"cstr\"".into())),
+        // Raw strings: every prefix, bodies that probe the hash terminator.
+        ((0usize..3), (0usize..4), (0usize..3)).prop_map(|(p, b, extra)| {
+            let prefix = ["r", "br", "cr"][p];
+            let body = ["plain", "has \" quote", "deep \"## run", "hash# only"][b];
+            raw_string(prefix, body, extra)
+        }),
+        // Comments: nested blocks, line comments end at their newline.
+        (0usize..100).prop_map(|n| tok(
+            TokenKind::BlockComment,
+            format!("/* a{n} /* nested */ tail */"),
+        )),
+        (0usize..100).prop_map(|n| GenTok {
+            rendered: format!("// note{n}\n"),
+            kind: TokenKind::LineComment,
+            text: format!("// note{n}"),
+        }),
+        // Punctuation arrives byte-by-byte.
+        (0usize..5).prop_map(|n| {
+            let c = [";", ",", "{", "}", "&"][n];
+            tok(TokenKind::Punct, c.into())
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Space-joined generated tokens lex back to exactly the generated
+    /// sequence: same kinds, same texts, nothing merged, split, or dropped.
+    #[test]
+    fn generated_tokens_round_trip(toks in prop::collection::vec(token_strategy(), 0..40)) {
+        let src: String = toks
+            .iter()
+            .map(|t| t.rendered.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.len(), toks.len(), "token count for {:?}", src);
+        for (got, want) in lexed.iter().zip(&toks) {
+            prop_assert_eq!(got.kind, want.kind, "kind of {:?} in {:?}", want.text, src);
+            prop_assert_eq!(got.text(&src), want.text, "text in {:?}", src);
+        }
+    }
+
+    /// Arbitrary soup built from lexically spicy fragments: the lexer must
+    /// not panic, must advance monotonically with no overlaps, must cover
+    /// every non-whitespace byte, and must be deterministic.
+    #[test]
+    fn soup_lexes_total_and_gap_free(pieces in prop::collection::vec(0usize..19, 0..60)) {
+        const POOL: [&str; 19] = [
+            "'", "\"", "#", "r", "b", "c", "/", "*", "\n", " ", "é", "😀",
+            "ident", "0", "1.5", "\\", ";", "{", "'a",
+        ];
+        let src: String = pieces.iter().map(|&i| POOL[i]).collect();
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "overlap in {:?}", src);
+            prop_assert!(t.end <= src.len() && t.start < t.end, "span in {:?}", src);
+            // Bytes between tokens are whitespace only — nothing is skipped.
+            prop_assert!(
+                src[prev_end..t.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "gap {:?} in {:?}", &src[prev_end..t.start], src
+            );
+            prev_end = t.end;
+        }
+        prop_assert!(
+            src[prev_end..].bytes().all(|b| b.is_ascii_whitespace()),
+            "tail {:?} in {:?}", &src[prev_end..], src
+        );
+        let again = lex(&src);
+        prop_assert_eq!(toks.len(), again.len());
+        for (a, b) in toks.iter().zip(&again) {
+            prop_assert_eq!((a.kind, a.start, a.end), (b.kind, b.start, b.end));
+        }
+    }
+}

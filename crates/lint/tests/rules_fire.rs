@@ -1,6 +1,6 @@
-//! Fixture-driven proof that every rule in the BX001–BX009 catalog fires on
+//! Fixture-driven proof that every rule in the BX001–BX014 catalog fires on
 //! a known-bad snippet and stays quiet on its known-clean counterpart, plus
-//! the stale-suppression negative control.
+//! the stale-suppression negative controls (stream and graph tiers).
 
 use boxes_lint::config::Config;
 use boxes_lint::{apply_baseline, lint_source};
@@ -20,7 +20,8 @@ fn lint_fixture(name: &str) -> Vec<&'static str> {
 #[test]
 fn every_rule_fires_on_its_bad_fixture() {
     for rule in [
-        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009",
+        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
+        "BX011", "BX012", "BX013", "BX014",
     ] {
         let fired = lint_fixture(&format!("{}_bad", rule.to_lowercase()));
         assert!(
@@ -33,7 +34,8 @@ fn every_rule_fires_on_its_bad_fixture() {
 #[test]
 fn no_rule_fires_on_its_clean_fixture() {
     for rule in [
-        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009",
+        "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
+        "BX011", "BX012", "BX013", "BX014",
     ] {
         let fired = lint_fixture(&format!("{}_clean", rule.to_lowercase()));
         assert!(
@@ -57,6 +59,11 @@ fn bad_fixture_counts_are_pinned() {
         ("bx007_bad", "BX007", 3),
         ("bx008_bad", "BX008", 5),
         ("bx009_bad", "BX009", 3),
+        ("bx010_bad", "BX010", 2),
+        ("bx011_bad", "BX011", 5),
+        ("bx012_bad", "BX012", 4),
+        ("bx013_bad", "BX013", 2),
+        ("bx014_bad", "BX014", 2),
     ];
     for (fixture, rule, want) in cases {
         let fired = lint_fixture(fixture);
@@ -66,6 +73,85 @@ fn bad_fixture_counts_are_pinned() {
             "{fixture}: expected {want} {rule} findings, got {fired:?}"
         );
     }
+}
+
+#[test]
+fn bx010_names_the_transitive_chain() {
+    // The two-hop `entry -> helper -> FileStore::read` leak must be caught
+    // and the diagnostic must spell out the call chain to the sink.
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx010_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &Config::default());
+    let entry = diags
+        .iter()
+        .find(|d| d.rule == "BX010" && d.message.contains("::entry`"))
+        .unwrap_or_else(|| panic!("no BX010 finding for the 2-hop entry fn: {diags:?}"));
+    assert!(
+        entry.message.contains("helper") && entry.message.contains("FileStore::read"),
+        "chain diagnostic should walk through the helper to the sink: {}",
+        entry.message
+    );
+}
+
+#[test]
+fn stale_graph_suppression_fails_the_gate() {
+    // A BX010 baseline entry that matches nothing must fail the gate just
+    // like a stale stream-tier entry: graph findings are stale-checked too.
+    let toml = r#"
+[[allow]]
+rule = "BX010"
+path = "crates/fixture/src/lib.rs"
+contains = "reaches_nothing_anymore"
+justification = "kept after the bypass was routed through the pager"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx010_clean.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert_eq!(outcome.stale_allows.len(), 1, "{:?}", outcome.stale_allows);
+    assert!(
+        !outcome.is_clean(),
+        "a stale BX010 [[allow]] must fail the gate"
+    );
+    assert!(
+        outcome.stale_allows[0].contains("BX010"),
+        "stale message names the rule: {}",
+        outcome.stale_allows[0]
+    );
+}
+
+#[test]
+fn baseline_budget_violation_fails_the_gate() {
+    let toml = r#"
+[limits]
+max_baselined = 1
+
+[[allow]]
+rule = "BX003"
+path = "crates/fixture/src/lib.rs"
+justification = "fixture exercises documented contract panics"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx003_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert!(outcome.suppressed.len() > 1, "fixture should baseline >1");
+    assert_eq!(outcome.budget_violations.len(), 1);
+    assert!(
+        !outcome.is_clean(),
+        "exceeding max_baselined must fail the gate"
+    );
 }
 
 #[test]

@@ -5,10 +5,19 @@
 //! exactly the paper's point about long labels. Five 64-bit limbs cover
 //! every configuration the experiments use (k ≤ 280).
 
+use boxes_pager::codec::u32_to_usize;
+
 /// A 320-bit unsigned integer, little-endian limbs. `Ord` compares
 /// numerically (most-significant limb first).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct BigLabel(pub [u64; 5]);
+
+/// Low 64 bits of a double-width product — the limb that stays, with the
+/// carry shifted out separately.
+#[inline]
+fn low_limb(v: u128) -> u64 {
+    u64::try_from(v & u128::from(u64::MAX)).unwrap_or(0) // mask makes this infallible
+}
 
 impl Ord for BigLabel {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -39,7 +48,7 @@ impl BigLabel {
     pub fn pow2(k: u32) -> Self {
         assert!(k < Self::BITS, "exponent too large for BigLabel");
         let mut limbs = [0u64; 5];
-        limbs[(k / 64) as usize] = 1u64 << (k % 64);
+        limbs[u32_to_usize(k / 64)] = 1u64 << (k % 64);
         BigLabel(limbs)
     }
 
@@ -51,7 +60,7 @@ impl BigLabel {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
             *limb = s2;
-            carry = (c1 as u64) + (c2 as u64);
+            carry = u64::from(c1) + u64::from(c2);
         }
         assert_eq!(carry, 0, "BigLabel overflow");
         BigLabel(out)
@@ -65,7 +74,7 @@ impl BigLabel {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
             *limb = d2;
-            borrow = (b1 as u64) + (b2 as u64);
+            borrow = u64::from(b1) + u64::from(b2);
         }
         assert_eq!(borrow, 0, "BigLabel underflow");
         BigLabel(out)
@@ -87,8 +96,8 @@ impl BigLabel {
         let mut out = [0u64; 5];
         let mut carry = 0u128;
         for (i, limb) in out.iter_mut().enumerate() {
-            let prod = self.0[i] as u128 * rhs as u128 + carry;
-            *limb = prod as u64;
+            let prod = u128::from(self.0[i]) * u128::from(rhs) + carry;
+            *limb = low_limb(prod);
             carry = prod >> 64;
         }
         assert_eq!(carry, 0, "BigLabel overflow");
@@ -107,10 +116,12 @@ impl BigLabel {
 
     /// Position of the highest set bit + 1 (0 for zero) — the bit length.
     pub fn bits(&self) -> u32 {
-        for i in (0..5).rev() {
-            if self.0[i] != 0 {
-                return i as u32 * 64 + (64 - self.0[i].leading_zeros());
+        let mut hi = Self::BITS;
+        for &limb in self.0.iter().rev() {
+            if limb != 0 {
+                return hi - limb.leading_zeros();
             }
+            hi -= 64;
         }
         0
     }
@@ -119,12 +130,11 @@ impl BigLabel {
     pub fn write_bytes(&self, out: &mut [u8]) {
         let nbytes = out.len();
         assert!(
-            self.bits() as usize <= nbytes * 8,
+            u32_to_usize(self.bits()) <= nbytes * 8,
             "BigLabel needs more than {nbytes} bytes"
         );
         for (i, byte) in out.iter_mut().enumerate() {
-            let limb = self.0[i / 8];
-            *byte = (limb >> ((i % 8) * 8)) as u8;
+            *byte = self.0[i / 8].to_le_bytes()[i % 8];
         }
     }
 
@@ -132,7 +142,7 @@ impl BigLabel {
     pub fn read_bytes(bytes: &[u8]) -> Self {
         let mut limbs = [0u64; 5];
         for (i, &byte) in bytes.iter().enumerate() {
-            limbs[i / 8] |= (byte as u64) << ((i % 8) * 8);
+            limbs[i / 8] |= u64::from(byte) << ((i % 8) * 8);
         }
         BigLabel(limbs)
     }

@@ -26,8 +26,10 @@ pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = {
         let mut table = [0u32; 256];
         let mut i = 0;
+        // `seed` mirrors `i` in u32 so the const block needs no cast.
+        let mut seed = 0u32;
         while i < 256 {
-            let mut crc = i as u32;
+            let mut crc = seed;
             let mut bit = 0;
             while bit < 8 {
                 crc = if crc & 1 != 0 {
@@ -39,6 +41,7 @@ pub fn crc32(data: &[u8]) -> u32 {
             }
             table[i] = crc;
             i += 1;
+            seed += 1;
         }
         table
     };

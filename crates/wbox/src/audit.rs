@@ -12,6 +12,7 @@ use crate::node::{LeafRecord, WNode};
 use crate::tree::WBox;
 use boxes_audit::{AuditReport, Auditable, Violation, ViolationKind};
 use boxes_lidf::Lid;
+use boxes_pager::codec::usize_to_u64;
 use boxes_pager::BlockId;
 use std::collections::{HashMap, HashSet};
 
@@ -164,9 +165,9 @@ impl<'a> WAuditor<'a> {
                         }
                     }
                 }
-                let size = recs.len() as u64;
+                let size = usize_to_u64(recs.len());
                 self.leaves.push((id, LeafInfo { range_lo: lo, recs }));
-                Some((size + tombstones as u64, size))
+                Some((size + u64::from(tombstones), size))
             }
             WNode::Internal { entries } => {
                 if level == 0 {
@@ -200,7 +201,7 @@ impl<'a> WAuditor<'a> {
                 let mut size = 0u64;
                 for (i, e) in entries.iter().enumerate() {
                     let child_path = format!("{path}/child[{i}]");
-                    if (e.subrange as usize) >= config.b {
+                    if usize::from(e.subrange) >= config.b {
                         self.push(
                             Violation::new(ViolationKind::RangeMismatch, child_path.clone())
                                 .at_block(id.0)
@@ -219,7 +220,7 @@ impl<'a> WAuditor<'a> {
                         }
                     }
                     prev_sub = Some(e.subrange);
-                    let child_lo = range_lo + e.subrange as u64 * len;
+                    let child_lo = range_lo + u64::from(e.subrange) * len;
                     match self.audit_node(e.child, level - 1, child_lo, false, &child_path) {
                         Some((cw, cs)) => {
                             if cw != e.weight {
@@ -279,7 +280,7 @@ impl<'a> WAuditor<'a> {
                     );
                 }
             }
-            prev = Some((first + leaf.recs.len() as u64 - 1, *id));
+            prev = Some((first + usize_to_u64(leaf.recs.len()) - 1, *id));
         }
     }
 
@@ -354,7 +355,7 @@ impl<'a> WAuditor<'a> {
                     );
                 }
                 if r.is_start {
-                    let end_label = pleaf.range_lo + ppos as u64;
+                    let end_label = pleaf.range_lo + usize_to_u64(ppos);
                     if r.end_cache != end_label {
                         found.push(
                             Violation::new(ViolationKind::PairEndCache, path)

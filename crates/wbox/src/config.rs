@@ -1,6 +1,15 @@
 //! W-BOX configuration: the branching parameter `a`, leaf parameter `k`,
 //! and maximum fan-out `b` of §4.
 
+use boxes_pager::codec::{usize_to_u32, usize_to_u64};
+
+/// A tree level as a `pow` exponent. Heights are logarithmic in N, so the
+/// saturating fallback is unreachable; saturation would overflow the
+/// checked weight math rather than silently wrap.
+fn level_exp(level: usize) -> u32 {
+    usize_to_u32(level).unwrap_or(u32::MAX)
+}
+
 /// Structural parameters of a W-BOX.
 #[derive(Clone, Copy, Debug)]
 pub struct WBoxConfig {
@@ -87,29 +96,29 @@ impl WBoxConfig {
     /// Upper weight bound (exclusive) for a node at `level` (leaves are
     /// level 0): 2·aⁱ·k.
     pub fn max_weight(&self, level: usize) -> u64 {
-        2 * self.a.pow(level as u32) as u64 * self.k as u64
+        2 * usize_to_u64(self.a).pow(level_exp(level)) * usize_to_u64(self.k)
     }
 
     /// Lower weight bound (exclusive) for a non-root node at `level`:
     /// aⁱ·k − 2aⁱ⁻¹·k, i.e. aⁱ⁻¹·k·(a − 2).
     pub fn min_weight(&self, level: usize) -> u64 {
-        let k = self.k as u64;
-        let a = self.a as u64;
+        let k = usize_to_u64(self.k);
+        let a = usize_to_u64(self.a);
         if level == 0 {
             // a⁰k − 2a⁻¹k = k·(a − 2)/a, floored (the bound is exclusive,
             // so flooring keeps integer comparisons exact).
             k * (a - 2) / a
         } else {
-            self.a.pow(level as u32 - 1) as u64 * k * (a - 2)
+            a.pow(level_exp(level) - 1) * k * (a - 2)
         }
     }
 
     /// Length of the label range owned by a node at `level`:
     /// (2k − 1)·bⁱ.
     pub fn range_len(&self, level: usize) -> u64 {
-        (self.b as u64)
-            .checked_pow(level as u32)
-            .and_then(|p| p.checked_mul(2 * self.k as u64 - 1))
+        usize_to_u64(self.b)
+            .checked_pow(level_exp(level))
+            .and_then(|p| p.checked_mul(2 * usize_to_u64(self.k) - 1))
             .expect("label space exhausted: tree too tall for 64-bit labels")
     }
 

@@ -18,6 +18,7 @@
 use crate::node::WNode;
 use crate::tree::WBox;
 use boxes_lidf::Lid;
+use boxes_pager::codec::usize_to_u64;
 use boxes_pager::BlockId;
 use std::collections::HashMap;
 
@@ -43,7 +44,7 @@ impl WBox {
         let mut remote: Vec<(BlockId, Lid, u64)> = Vec::new();
         for (i, r) in snapshot.iter().enumerate().skip(first_changed) {
             if !r.is_start && r.partner_lid != Lid::INVALID {
-                let new_label = range_lo + i as u64;
+                let new_label = range_lo + usize_to_u64(i);
                 if r.partner == id {
                     if let Some(p) = node.recs_mut().iter_mut().find(|x| x.lid == r.partner_lid) {
                         p.end_cache = new_label;
@@ -146,10 +147,10 @@ impl WBox {
         let mut snode = self.read_node(start_block);
         let end_label = if end_block == start_block {
             let pos = snode.position_of_lid(end);
-            snode.range_lo() + pos as u64
+            snode.range_lo() + usize_to_u64(pos)
         } else {
             let enode = self.read_node(end_block);
-            enode.range_lo() + enode.position_of_lid(end) as u64
+            enode.range_lo() + usize_to_u64(enode.position_of_lid(end))
         };
         {
             let pos = snode.position_of_lid(start);
@@ -191,7 +192,7 @@ impl WBox {
         let pos = node.position_of_lid(start_lid);
         let r = &node.recs()[pos];
         assert!(r.is_start, "pair_lookup takes a start label");
-        (node.range_lo() + pos as u64, r.end_cache)
+        (node.range_lo() + usize_to_u64(pos), r.end_cache)
     }
 
     /// Recompute partner blocks and end caches for a fully materialized

@@ -15,6 +15,14 @@ impl std::fmt::Debug for ElementId {
     }
 }
 
+/// Arena slot of an element id. Ids are minted from the arena length behind
+/// the arena-exhausted guard, so the widening always fits; the fallback can
+/// only trip a bounds check, never alias a valid slot.
+#[inline]
+fn slot(id: ElementId) -> usize {
+    usize::try_from(id.0).unwrap_or(usize::MAX)
+}
+
 #[derive(Clone, Debug)]
 pub(crate) struct Element {
     /// Element name.
@@ -79,14 +87,14 @@ impl XmlTree {
 
     #[inline]
     fn elem(&self, id: ElementId) -> &Element {
-        let e = &self.elements[id.0 as usize];
+        let e = &self.elements[slot(id)];
         assert!(!e.dead, "access to removed element {id:?}");
         e
     }
 
     #[inline]
     fn elem_mut(&mut self, id: ElementId) -> &mut Element {
-        let e = &mut self.elements[id.0 as usize];
+        let e = &mut self.elements[slot(id)];
         assert!(!e.dead, "access to removed element {id:?}");
         e
     }
@@ -127,8 +135,9 @@ impl XmlTree {
     }
 
     fn new_element(&mut self, tag: String, parent: ElementId) -> ElementId {
-        let id = ElementId(self.elements.len() as u32);
-        assert!(self.elements.len() < u32::MAX as usize, "arena exhausted");
+        let raw = u32::try_from(self.elements.len()).unwrap_or(u32::MAX);
+        assert!(raw < u32::MAX, "arena exhausted");
+        let id = ElementId(raw);
         self.elements.push(Element {
             tag,
             parent: Some(parent),
@@ -181,7 +190,7 @@ impl XmlTree {
         let mut stack = vec![id];
         while let Some(e) = stack.pop() {
             removed.push(e);
-            let elem = &mut self.elements[e.0 as usize];
+            let elem = &mut self.elements[slot(e)];
             elem.dead = true;
             self.live -= 1;
             // Push children reversed so pop order is document order.
@@ -204,7 +213,7 @@ impl XmlTree {
         }
         let parent_children = &mut self.elem_mut(parent).children;
         parent_children.splice(pos..=pos, children);
-        self.elements[id.0 as usize].dead = true;
+        self.elements[slot(id)].dead = true;
         self.live -= 1;
     }
 

@@ -1,33 +1,62 @@
 //! The source-lint step: drive `boxes-lint` over the workspace, print
-//! human diagnostics, and drop the JSON report in `target/lint-report.json`.
+//! human diagnostics, and drop the JSON artifacts in
+//! `target/lint-report.json` and `target/sync-readiness.json`.
 
 use std::path::Path;
+use std::time::Instant;
 
 use boxes_lint::report::Outcome;
 
-/// Run the BX001–BX009 catalog against the `lint.toml` baseline. Prints
-/// every unsuppressed finding and every stale suppression; returns whether
-/// the gate is clean.
+/// Run the BX001–BX014 catalog against the `lint.toml` baseline. Prints
+/// every unsuppressed finding, stale suppression, and budget violation;
+/// returns whether the gate is clean. Also writes the lint report (with the
+/// pass runtime) and the BX011 concurrency-readiness inventory.
 pub(crate) fn run(root: &Path) -> bool {
-    let Some(outcome) = lint_workspace(root) else {
+    let start = Instant::now();
+    let Some(mut outcome) = lint_workspace(root) else {
         return false;
     };
+    outcome.lint_pass_ms = start.elapsed().as_millis();
     write_json_report(root, &outcome);
+    write_sync_readiness(root);
     for d in &outcome.unsuppressed {
         eprintln!("  {}", d.human());
     }
     for stale in &outcome.stale_allows {
         eprintln!("  {stale}");
     }
+    for violation in &outcome.budget_violations {
+        eprintln!("  {violation}");
+    }
     println!(
         "  lint: {} file(s), {} finding(s) baselined, {} unsuppressed, {} stale \
-         suppression(s)",
+         suppression(s), {} ms",
         outcome.files_scanned,
         outcome.suppressed.len(),
         outcome.unsuppressed.len(),
-        outcome.stale_allows.len()
+        outcome.stale_allows.len(),
+        outcome.lint_pass_ms
     );
     outcome.is_clean()
+}
+
+/// `--explain BXnnn`: print a rule's rationale and fix recipe.
+pub(crate) fn explain(id: &str) -> bool {
+    match boxes_lint::rules::rule_doc(id) {
+        Some(doc) => {
+            println!("{}: {}", doc.id, doc.title);
+            println!("\nwhy:\n  {}", doc.rationale);
+            println!("\nfix:\n  {}", doc.fix);
+            true
+        }
+        None => {
+            eprintln!(
+                "unknown rule `{id}` — known rules: {}",
+                boxes_lint::rules::RULE_IDS.join(", ")
+            );
+            false
+        }
+    }
 }
 
 /// `--baseline`: print ready-to-paste `[[allow]]` entries for the current
@@ -82,6 +111,22 @@ fn write_json_report(root: &Path, outcome: &Outcome) {
     }
     let path = dir.join("lint-report.json");
     if let Err(e) = std::fs::write(&path, outcome.to_json()) {
+        eprintln!("  lint: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Write `target/sync-readiness.json`: the full shared-state inventory with
+/// reaching public APIs, the burndown the concurrency PR consumes.
+fn write_sync_readiness(root: &Path) {
+    let analysis = match boxes_lint::analyze_workspace(root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("  lint: sync-readiness analysis failed: {e}");
+            return;
+        }
+    };
+    let path = root.join("target").join("sync-readiness.json");
+    if let Err(e) = std::fs::write(&path, analysis.sync_readiness_json()) {
         eprintln!("  lint: cannot write {}: {e}", path.display());
     }
 }

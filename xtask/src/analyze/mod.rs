@@ -25,9 +25,17 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     let mut chaos_only = false;
     let mut profile_only = false;
     let mut baseline = false;
+    let mut explain: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--explain" => match it.next() {
+                Some(id) => explain = Some(id.clone()),
+                None => {
+                    eprintln!("--explain needs a rule ID (e.g. --explain BX010)");
+                    return 2;
+                }
+            },
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
@@ -49,6 +57,9 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
 
     let root = crate::workspace_root();
 
+    if let Some(id) = explain {
+        return i32::from(!lint::explain(&id));
+    }
     if baseline {
         return i32::from(!lint::emit_baseline(&root));
     }
