@@ -13,6 +13,7 @@
 //! present in the layout, only *maintained* when ordinal support is on).
 
 use boxes_lidf::Lid;
+use boxes_pager::codec::{usize_to_u16, usize_to_u64};
 use boxes_pager::{BlockId, Reader, Writer};
 
 /// Bytes of the common node header.
@@ -140,7 +141,7 @@ impl Node {
     /// Total of the size fields (ordinal mode).
     pub fn size_sum(&self) -> u64 {
         match self {
-            Node::Leaf { lids, .. } => lids.len() as u64,
+            Node::Leaf { lids, .. } => usize_to_u64(lids.len()),
             Node::Internal { entries, .. } => entries.iter().map(|e| e.size).sum(),
         }
     }
@@ -151,7 +152,7 @@ impl Node {
         match self {
             Node::Leaf { parent, lids } => {
                 w.u8(KIND_LEAF);
-                w.u16(lids.len() as u16);
+                w.u16(usize_to_u16(lids.len()).unwrap_or(u16::MAX));
                 w.u32(parent.0);
                 for lid in lids {
                     w.u64(lid.0);
@@ -159,7 +160,7 @@ impl Node {
             }
             Node::Internal { parent, entries } => {
                 w.u8(KIND_INTERNAL);
-                w.u16(entries.len() as u16);
+                w.u16(usize_to_u16(entries.len()).unwrap_or(u16::MAX));
                 w.u32(parent.0);
                 for e in entries {
                     w.u32(e.child.0);
@@ -193,7 +194,7 @@ impl Node {
         }
         let mut r = Reader::new(buf);
         let kind = r.u8();
-        let count = r.u16() as usize;
+        let count = usize::from(r.u16());
         let parent = BlockId(r.u32());
         match kind {
             KIND_LEAF => {

@@ -35,7 +35,7 @@
 //! clock still hit, while anything staler correctly falls back to a full
 //! lookup (the effect entries died with the process).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use boxes_bbox::BBoxConfig;
 use boxes_lidf::{Lidf, Record};
@@ -51,8 +51,8 @@ use crate::scheme::{BBoxScheme, NaiveScheme, WBoxScheme};
 /// needs to run one (attempted) workload and recover from its remains.
 pub struct DurableEnv {
     pager: SharedPager,
-    wal: Rc<Wal>,
-    clock: Rc<CrashClock>,
+    wal: Arc<Wal>,
+    clock: Arc<CrashClock>,
 }
 
 impl DurableEnv {
@@ -74,12 +74,12 @@ impl DurableEnv {
     }
 
     /// The write-ahead log (stats, durable bytes).
-    pub fn wal(&self) -> &Rc<Wal> {
+    pub fn wal(&self) -> &Arc<Wal> {
         &self.wal
     }
 
     /// The crash clock: run disarmed to count crash points, then `arm` one.
-    pub fn clock(&self) -> &Rc<CrashClock> {
+    pub fn clock(&self) -> &Arc<CrashClock> {
         &self.clock
     }
 

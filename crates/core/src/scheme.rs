@@ -529,7 +529,7 @@ mod tests {
         use boxes_pager::{FaultPlan, FaultPlanConfig};
         use boxes_wal::{Wal, WalConfig};
 
-        fn drill<S: LabelingScheme>(mut s: S, plan: std::rc::Rc<FaultPlan>) {
+        fn drill<S: LabelingScheme>(mut s: S, plan: std::sync::Arc<FaultPlan>) {
             let name = s.name();
             let lids = s.bulk_load_document(&[5, 2, 1, 4, 3, 0]);
             // The disk's write path dies. The next mutation commits to the
@@ -586,7 +586,7 @@ mod tests {
             assert!(s.lookup(again) < s.lookup(lids[3]));
         }
 
-        fn env(block_size: usize) -> (SharedPager, std::rc::Rc<FaultPlan>) {
+        fn env(block_size: usize) -> (SharedPager, std::sync::Arc<FaultPlan>) {
             let pager = Pager::new(PagerConfig::with_block_size(block_size));
             pager.attach_journal(Wal::new(block_size, WalConfig::default()));
             let plan = FaultPlan::new(FaultPlanConfig::quiet(3, block_size));

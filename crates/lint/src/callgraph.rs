@@ -248,8 +248,9 @@ impl CallGraph {
 
 /// Recover local-variable base types in a function body:
 /// `let x: T = …`, `let x = T::new(…)` / `T::with_…(…)` / `T { … }`, plus
-/// the function's typed parameters.
-fn collect_local_types(
+/// the function's typed parameters. Shared with the lock-set analysis
+/// ([`crate::locks`]), which needs the same receiver typing.
+pub(crate) fn collect_local_types(
     file: &SourceFile,
     f: &FnItem,
     open: usize,

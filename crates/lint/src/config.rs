@@ -28,6 +28,17 @@
 //! [limits]
 //! max_baselined = 212   # gate fails if the suppressed total exceeds this
 //! ```
+//!
+//! BX018 (the sync-readiness ratchet) has its own `[[ratchet]]` table —
+//! like `[[allow]]` but with no `rule` key, no budget headroom, and the
+//! same stale-checking:
+//!
+//! ```toml
+//! [[ratchet]]
+//! path = "crates/trace/src/lib.rs"
+//! contains = "static STACK"
+//! justification = "per-thread span stack is the design"
+//! ```
 
 use std::collections::BTreeMap;
 
@@ -46,6 +57,19 @@ pub struct AllowEntry {
     pub line_no: usize,
 }
 
+/// One `[[ratchet]]` entry: a deliberate sync-readiness survivor (BX018).
+#[derive(Clone, Debug)]
+pub struct RatchetEntry {
+    /// Workspace-relative file path of the surviving site.
+    pub path: String,
+    /// Optional substring the site's declaration must contain.
+    pub contains: Option<String>,
+    /// Why the site survives the Send/Sync burn-down. Mandatory.
+    pub justification: String,
+    /// Line in `lint.toml` where the entry starts (for error reporting).
+    pub line_no: usize,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Clone, Debug, Default)]
 pub struct Config {
@@ -53,6 +77,8 @@ pub struct Config {
     pub rule_allow_paths: BTreeMap<String, Vec<String>>,
     /// All `[[allow]]` point suppressions.
     pub allows: Vec<AllowEntry>,
+    /// All `[[ratchet]]` sync-readiness survivors (BX018 only).
+    pub ratchets: Vec<RatchetEntry>,
     /// `[limits] max_baselined` — hard ceiling on the suppressed-finding
     /// total. `None` means uncapped.
     pub max_baselined: Option<usize>,
@@ -79,6 +105,7 @@ enum Section {
     None,
     Rule(String),
     Allow(usize),
+    Ratchet(usize),
     Limits,
 }
 
@@ -93,20 +120,33 @@ impl Config {
                 continue;
             }
             if let Some(inner) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
-                if inner.trim() != "allow" {
-                    return Err(ConfigError {
-                        line: line_no,
-                        message: format!("unknown array table [[{}]]", inner.trim()),
-                    });
+                match inner.trim() {
+                    "allow" => {
+                        cfg.allows.push(AllowEntry {
+                            rule: String::new(),
+                            path: String::new(),
+                            contains: None,
+                            justification: String::new(),
+                            line_no,
+                        });
+                        section = Section::Allow(cfg.allows.len() - 1);
+                    }
+                    "ratchet" => {
+                        cfg.ratchets.push(RatchetEntry {
+                            path: String::new(),
+                            contains: None,
+                            justification: String::new(),
+                            line_no,
+                        });
+                        section = Section::Ratchet(cfg.ratchets.len() - 1);
+                    }
+                    other => {
+                        return Err(ConfigError {
+                            line: line_no,
+                            message: format!("unknown array table [[{other}]]"),
+                        });
+                    }
                 }
-                cfg.allows.push(AllowEntry {
-                    rule: String::new(),
-                    path: String::new(),
-                    contains: None,
-                    justification: String::new(),
-                    line_no,
-                });
-                section = Section::Allow(cfg.allows.len() - 1);
                 continue;
             }
             if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
@@ -188,6 +228,26 @@ impl Config {
                         }
                     }
                 }
+                Section::Ratchet(i) => {
+                    let s = parse_string(value).ok_or_else(|| ConfigError {
+                        line: line_no,
+                        message: format!("`{key}` must be a quoted string"),
+                    })?;
+                    let Some(entry) = cfg.ratchets.get_mut(*i) else {
+                        continue;
+                    };
+                    match key {
+                        "path" => entry.path = s,
+                        "contains" => entry.contains = Some(s),
+                        "justification" => entry.justification = s,
+                        _ => {
+                            return Err(ConfigError {
+                                line: line_no,
+                                message: format!("unknown key `{key}` in [[ratchet]]"),
+                            });
+                        }
+                    }
+                }
             }
         }
         for entry in &cfg.allows {
@@ -204,6 +264,24 @@ impl Config {
                         "[[allow]] for {} in {} has no justification — every \
                          suppression must say why",
                         entry.rule, entry.path
+                    ),
+                });
+            }
+        }
+        for entry in &cfg.ratchets {
+            if entry.path.is_empty() {
+                return Err(ConfigError {
+                    line: entry.line_no,
+                    message: "[[ratchet]] entry needs a `path`".to_string(),
+                });
+            }
+            if entry.justification.trim().is_empty() {
+                return Err(ConfigError {
+                    line: entry.line_no,
+                    message: format!(
+                        "[[ratchet]] for {} has no justification — every surviving \
+                         sync-readiness site must say why it stays",
+                        entry.path
                     ),
                 });
             }
@@ -376,6 +454,25 @@ justification = "contract panic pinned by should_panic test"
         assert_eq!(cfg.max_baselined, Some(212));
         assert!(Config::parse("[limits]\nmax_baselined = \"lots\"\n").is_err());
         assert!(Config::parse("[limits]\nother = 1\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_entries_parse_and_validate() {
+        let text = "[[ratchet]]\npath = \"crates/trace/src/lib.rs\"\n\
+                    contains = \"static STACK\"\n\
+                    justification = \"per-thread span stack is the design\"\n";
+        let cfg = Config::parse(text).expect("valid");
+        assert_eq!(cfg.ratchets.len(), 1);
+        assert_eq!(cfg.ratchets[0].contains.as_deref(), Some("static STACK"));
+        let missing = "[[ratchet]]\npath = \"crates/x/src/lib.rs\"\n";
+        let err = Config::parse(missing).expect_err("must reject");
+        assert!(err.message.contains("justification"));
+        let no_path = "[[ratchet]]\njustification = \"why\"\n";
+        let err = Config::parse(no_path).expect_err("must reject");
+        assert!(err.message.contains("path"));
+        let bad_key = "[[ratchet]]\npath = \"a\"\nrule = \"BX018\"\njustification = \"x\"\n";
+        let err = Config::parse(bad_key).expect_err("must reject");
+        assert!(err.message.contains("unknown key"));
     }
 
     #[test]

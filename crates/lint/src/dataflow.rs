@@ -350,7 +350,15 @@ fn receiver_key(file: &SourceFile, last: usize) -> Option<String> {
 /// * Bound via `let g = …` → the enclosing block's close (or an
 ///   intervening `drop(g)`).
 /// * Temporary → the statement's terminating `;`.
-fn borrow_live_end(file: &SourceFile, body_open: usize, body_close: usize, si: usize) -> usize {
+///
+/// Shared with the lock-set analysis ([`crate::locks`]): a `MutexGuard`
+/// binding has exactly the same liveness shape as a `RefCell` borrow.
+pub(crate) fn borrow_live_end(
+    file: &SourceFile,
+    body_open: usize,
+    body_close: usize,
+    si: usize,
+) -> usize {
     // Statement start: walk left to the nearest `;`/`{`/`}` inside the body.
     let mut stmt_start = si;
     while stmt_start > body_open + 1 && !matches!(file.stext(stmt_start - 1), ";" | "{" | "}") {

@@ -5,10 +5,10 @@
 //! means *discipline*: every disk touch flows through the accounted
 //! [`Pager`] entry points and label/offset arithmetic never silently
 //! truncates. Generic tools cannot see those invariants; this crate encodes
-//! them as the BX001–BX014 rule catalog (see [`rules`]) over a hand-rolled
+//! them as the BX001–BX019 rule catalog (see [`rules`]) over a hand-rolled
 //! lexer ([`lexer`]) and a lightweight token-stream model ([`model`]).
 //!
-//! Two analysis tiers share that substrate:
+//! Three analysis tiers share that substrate:
 //!
 //! * **Token-stream rules** (BX001–BX009) are pure per-file functions.
 //! * **Call-graph rules** (BX010–BX014) run over an [`Analysis`]: an
@@ -16,12 +16,19 @@
 //!   call graph ([`callgraph`]) with explicit unknown edges so reachability
 //!   stays sound-by-default, and per-function dataflow summaries
 //!   ([`dataflow`]). No rustc internals, no external dependencies.
+//! * **Lock-discipline rules** (BX015–BX019) run over the lock-set
+//!   analysis ([`locks`]): per-function `Mutex`/`RwLock` acquisition
+//!   summaries with guard-liveness windows, solved to fixpoint over the
+//!   call graph. The resulting lock-order graph is exported to
+//!   `target/lock-order.json` ([`Analysis::lock_order_json`]).
 //!
 //! Findings are [`report::Diagnostic`]s with `file:line:col` spans. A
 //! checked-in baseline (`lint.toml`, parsed by [`config`]) suppresses
 //! reviewed findings; every entry needs a justification, an entry that no
 //! longer matches anything fails the gate, and `[limits] max_baselined`
-//! caps the suppressed total so the baseline can only shrink.
+//! caps the suppressed total so the baseline can only shrink. BX018 uses a
+//! separate `[[ratchet]]` table with the same stale-checking but no budget
+//! headroom: unmatched findings are hard errors.
 //!
 //! [`Pager`]: https://docs.rs/boxes-pager
 
@@ -36,13 +43,15 @@ pub mod config;
 pub mod dataflow;
 /// The hand-rolled, panic-free Rust lexer.
 pub mod lexer;
+/// Lock-set analysis: acquisitions, guard windows, the lock-order graph.
+pub mod locks;
 /// Token-stream source model (brackets, test regions, item scopes).
 pub mod model;
 /// Item-level parser: functions, impl blocks, shared-state sites.
 pub mod parser;
 /// Diagnostics plus the human and JSON renderers.
 pub mod report;
-/// The BX001–BX014 rule catalog.
+/// The BX001–BX019 rule catalog.
 pub mod rules;
 
 use std::collections::BTreeSet;
@@ -91,6 +100,12 @@ impl Analysis {
     pub fn sync_readiness_json(&self) -> String {
         rules::graph::sync_readiness_json(self)
     }
+
+    /// The lock-order graph — locks, witnessed edges, cycles — as JSON
+    /// (`target/lock-order.json`).
+    pub fn lock_order_json(&self) -> String {
+        locks::LockAnalysis::build(self).to_json()
+    }
 }
 
 /// Lint a single source text under its workspace-relative `path`, running
@@ -113,10 +128,32 @@ pub fn lint_source(path: &str, text: &str, config: &Config) -> Vec<Diagnostic> {
 /// Partition findings into suppressed/unsuppressed against the `[[allow]]`
 /// baseline, surface entries that matched nothing (stale suppressions), and
 /// enforce the `[limits] max_baselined` budget.
+///
+/// BX018 findings never consult the `[[allow]]` baseline: they match only
+/// `[[ratchet]]` entries (path + optional `contains`), land in
+/// [`Outcome::ratcheted`] outside the `max_baselined` budget, and any
+/// unmatched finding stays a hard error — the sync-readiness baseline can
+/// only shrink.
 pub fn apply_baseline(diags: Vec<Diagnostic>, config: &Config) -> Outcome {
     let mut matched = vec![false; config.allows.len()];
+    let mut r_matched = vec![false; config.ratchets.len()];
     let mut outcome = Outcome::default();
     for d in diags {
+        if d.rule == "BX018" {
+            let hit = config.ratchets.iter().position(|r| {
+                r.path == d.path && r.contains.as_deref().is_none_or(|c| d.snippet.contains(c))
+            });
+            match hit {
+                Some(i) => {
+                    if let Some(slot) = r_matched.get_mut(i) {
+                        *slot = true;
+                    }
+                    outcome.ratcheted.push(d);
+                }
+                None => outcome.unsuppressed.push(d),
+            }
+            continue;
+        }
         let hit = config.allows.iter().position(|a| {
             a.rule == d.rule
                 && a.path == d.path
@@ -138,6 +175,15 @@ pub fn apply_baseline(diags: Vec<Diagnostic>, config: &Config) -> Outcome {
                 "lint.toml:{}: [[allow]] {} in {} matched no findings — remove the \
                  stale entry",
                 a.line_no, a.rule, a.path
+            ));
+        }
+    }
+    for (i, r) in config.ratchets.iter().enumerate() {
+        if !r_matched.get(i).copied().unwrap_or(true) {
+            outcome.stale_ratchets.push(format!(
+                "lint.toml:{}: [[ratchet]] in {} matched no BX018 findings — the site \
+                 was retired; remove the entry",
+                r.line_no, r.path
             ));
         }
     }

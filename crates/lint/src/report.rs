@@ -34,8 +34,14 @@ pub struct Outcome {
     pub unsuppressed: Vec<Diagnostic>,
     /// Findings matched by an `[[allow]]` entry.
     pub suppressed: Vec<Diagnostic>,
+    /// BX018 findings matched by a `[[ratchet]]` entry — deliberate
+    /// sync-readiness survivors, outside the `max_baselined` budget.
+    pub ratcheted: Vec<Diagnostic>,
     /// `lint.toml` lines of `[[allow]]` entries that matched nothing.
     pub stale_allows: Vec<String>,
+    /// `lint.toml` lines of `[[ratchet]]` entries that matched nothing —
+    /// the site was retired, so the entry must go too.
+    pub stale_ratchets: Vec<String>,
     /// Baseline-budget violations: the suppressed total exceeded
     /// `[limits] max_baselined` — the baseline may only shrink.
     pub budget_violations: Vec<String>,
@@ -44,6 +50,9 @@ pub struct Outcome {
     /// Wall-clock milliseconds the lint pass took (set by the driver;
     /// zero when unmeasured).
     pub lint_pass_ms: u128,
+    /// Wall-clock milliseconds the lock-set analysis and lock-order export
+    /// took (set by the driver; zero when unmeasured).
+    pub lock_analysis_ms: u128,
 }
 
 impl Outcome {
@@ -51,6 +60,7 @@ impl Outcome {
     pub fn is_clean(&self) -> bool {
         self.unsuppressed.is_empty()
             && self.stale_allows.is_empty()
+            && self.stale_ratchets.is_empty()
             && self.budget_violations.is_empty()
     }
 
@@ -59,6 +69,10 @@ impl Outcome {
         let mut out = String::from("{\n");
         push_kv_num(&mut out, 1, "files_scanned", self.files_scanned, true);
         out.push_str(&format!("  \"lint_pass_ms\": {},\n", self.lint_pass_ms));
+        out.push_str(&format!(
+            "  \"lock_analysis_ms\": {},\n",
+            self.lock_analysis_ms
+        ));
         push_kv_num(
             &mut out,
             1,
@@ -67,6 +81,7 @@ impl Outcome {
             true,
         );
         push_kv_num(&mut out, 1, "suppressed_count", self.suppressed.len(), true);
+        push_kv_num(&mut out, 1, "ratcheted_count", self.ratcheted.len(), true);
         out.push_str("  \"budget_violations\": [");
         for (i, s) in self.budget_violations.iter().enumerate() {
             if i > 0 {
@@ -83,8 +98,17 @@ impl Outcome {
             out.push_str(&json_string(s));
         }
         out.push_str("],\n");
+        out.push_str("  \"stale_ratchets\": [");
+        for (i, s) in self.stale_ratchets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(s));
+        }
+        out.push_str("],\n");
         push_diag_array(&mut out, "unsuppressed", &self.unsuppressed, true);
-        push_diag_array(&mut out, "suppressed", &self.suppressed, false);
+        push_diag_array(&mut out, "suppressed", &self.suppressed, true);
+        push_diag_array(&mut out, "ratcheted", &self.ratcheted, false);
         out.push_str("}\n");
         out
     }

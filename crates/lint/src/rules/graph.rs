@@ -33,7 +33,7 @@ use crate::report::Diagnostic;
 use crate::Analysis;
 
 /// Raw disk-surface types whose methods are BX010 sinks.
-const RAW_STORE_TYPES: [&str; 3] = ["FileStore", "DiskImage", "DiskBlock"];
+pub(crate) const RAW_STORE_TYPES: [&str; 3] = ["FileStore", "DiskImage", "DiskBlock"];
 
 /// The blessed I/O surface: reaching a sink *through* these types' methods
 /// is the accounted path.

@@ -1,17 +1,23 @@
 //! The BX rule catalog.
 //!
-//! Two rule families share this module's helpers:
+//! Three rule families share this module's helpers:
 //!
 //! * [`stream`] — BX001–BX009, pure functions over one [`SourceFile`]'s
 //!   token stream (no cross-file knowledge).
 //! * [`graph`] — BX010–BX014, functions over the whole-workspace
 //!   [`Analysis`](crate::Analysis): call graph plus dataflow summaries.
+//! * [`locks`] — BX015–BX019, lock-discipline rules over the workspace
+//!   lock-set analysis ([`crate::locks`]): lock-order cycles, guards held
+//!   across disk I/O, re-acquisition, the sync-readiness ratchet, and
+//!   atomic-ordering hygiene.
 //!
 //! Every rule errs on the side of firing — a finding can be baselined with
 //! a justification; a silent miss cannot.
 
 /// BX010–BX014: call-graph and dataflow rules over the whole workspace.
 pub mod graph;
+/// BX015–BX019: lock-discipline rules over the lock-set analysis.
+pub mod locks;
 /// BX001–BX009: per-file token-stream rules.
 pub mod stream;
 
@@ -22,9 +28,9 @@ use crate::report::Diagnostic;
 pub use stream::collect_report_fns;
 
 /// All stable rule IDs, in catalog order.
-pub const RULE_IDS: [&str; 14] = [
+pub const RULE_IDS: [&str; 19] = [
     "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
-    "BX011", "BX012", "BX013", "BX014",
+    "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019",
 ];
 
 /// Rationale and fix recipe for one rule, rendered by
@@ -41,7 +47,7 @@ pub struct RuleDoc {
 }
 
 /// The full rule documentation table.
-pub const RULE_DOCS: [RuleDoc; 14] = [
+pub const RULE_DOCS: [RuleDoc; 19] = [
     RuleDoc {
         id: "BX001",
         title: "pager I/O (`read/write/alloc/free`) only in designated I/O modules",
@@ -173,6 +179,69 @@ pub const RULE_DOCS: [RuleDoc; 14] = [
         fix: "Open the op span as the first statement of the public entry point — before \
               gates, journaled() checks, or any `?`. Phase spans are exempt.",
     },
+    RuleDoc {
+        id: "BX015",
+        title: "lock-order graph is acyclic: no path acquires lock B holding A while \
+                another acquires A holding B",
+        rationale: "The storage core is Send + Sync; deadlock freedom now rests on a \
+                    single global lock order. The analysis records an edge A → B \
+                    whenever any path acquires B while a guard of A is live (directly \
+                    or through a callee's lock set) and exports the graph with \
+                    witnesses to target/lock-order.json. Any cycle is a schedule away \
+                    from a frozen pager.",
+        fix: "Pick one acquisition order and restructure the violating path (usually: \
+              drop the outer guard before calling into the other subsystem, as \
+              `Wal::commit` does around the barrier tick). Witness paths in \
+              target/lock-order.json show exactly which functions to fix.",
+    },
+    RuleDoc {
+        id: "BX016",
+        title: "no guard held across a call that reaches the raw disk surface",
+        rationale: "A mutex held across `FileStore`/`DiskImage`/`DiskBlock` I/O \
+                    serializes every other thread behind disk latency — the \
+                    concurrent-session throughput the BOX maintenance bounds promise \
+                    evaporates behind one hot lock. The pager crate itself is \
+                    policy-allowed: holding its own inner lock across its backend is \
+                    the design.",
+        fix: "Copy what the I/O needs out of the guarded state, drop the guard, then \
+              do the I/O (the WAL's commit path is the template). If the hold is \
+              deliberate, add the path to [rules.BX016] allow_paths with a comment.",
+    },
+    RuleDoc {
+        id: "BX017",
+        title: "no same-lock re-acquisition while the first guard is live",
+        rationale: "std::sync locks are not reentrant: a path that re-locks a mutex it \
+                    already holds — directly or through a helper that locks the same \
+                    field — deadlocks itself the first time it runs. Single-threaded \
+                    tests never catch this; the analysis does.",
+        fix: "Thread the existing guard (or the data it derefs to) into the helper \
+              instead of re-locking, or drop the first guard before the second \
+              acquisition. Guard-returning helpers like `Pager::lock` are modeled, so \
+              moving the lock into one does not hide the overlap.",
+    },
+    RuleDoc {
+        id: "BX018",
+        title: "sync-readiness ratchet: no new interior-mutability or shared-ownership \
+                sites in library crates",
+        rationale: "The Send + Sync refactor burned the BX011 inventory down to a \
+                    deliberate handful. BX018 is the ratchet that keeps it burned: it \
+                    fires on the same sites as BX011 but is suppressible only through \
+                    [[ratchet]] entries in lint.toml, which are stale-checked — so a \
+                    new site is a hard error and a removed site retires its entry.",
+        fix: "Use Mutex/RwLock/atomics (or owned state) instead. A deliberate \
+              survivor — e.g. the per-thread span stack in boxes-trace — gets a \
+              [[ratchet]] entry with the design rationale as justification.",
+    },
+    RuleDoc {
+        id: "BX019",
+        title: "no bare relaxed atomic ordering in library crates",
+        rationale: "The workspace standardizes on SeqCst: the atomics guard cheap \
+                    counters and flags, not hot paths, so the strongest ordering costs \
+                    nothing measurable while a misplaced weak ordering costs a \
+                    heisenbug. Weakening is opt-in, not default.",
+        fix: "Use Ordering::SeqCst. If a profile shows the fence matters, weaken it \
+              behind a justified [[allow]] citing the measurement.",
+    },
 ];
 
 /// Look up a rule's documentation by ID.
@@ -189,10 +258,11 @@ pub fn run_all(
     stream::run_all(file, must_use_fns, out);
 }
 
-/// Run the call-graph/dataflow rules (BX010–BX014) against a whole
-/// analysis.
+/// Run the call-graph/dataflow rules (BX010–BX014) and the lock-discipline
+/// rules (BX015–BX019) against a whole analysis.
 pub fn run_graph(analysis: &crate::Analysis, out: &mut Vec<Diagnostic>) {
     graph::run_all(analysis, out);
+    locks::run_all(analysis, out);
 }
 
 // ------------------------------------------------------------------ helpers

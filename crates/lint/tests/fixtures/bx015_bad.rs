@@ -1,0 +1,40 @@
+//! BX015 bad: a three-lock cycle A -> B -> C -> A, one edge per method and
+//! one of them taken through the blessed `lock_unpoisoned` helper.
+
+/// Three locks acquired in mutually inconsistent orders.
+pub struct Triple {
+    a: Mutex<u8>,
+    b: Mutex<u8>,
+    c: Mutex<u8>,
+}
+
+/// Poison-recovering acquisition helper (same shape as the pager's).
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl Triple {
+    /// Takes `b` while holding `a`.
+    pub fn ab(&self) -> u8 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+
+    /// Takes `c` while holding `b` (acquired through the helper).
+    pub fn bc(&self) -> u8 {
+        let g = lock_unpoisoned(&self.b);
+        let h = self.c.lock();
+        *g + *h
+    }
+
+    /// Takes `a` while holding `c` — closes the cycle.
+    pub fn ca(&self) -> u8 {
+        let g = self.c.lock();
+        let h = lock_unpoisoned(&self.a);
+        *g + *h
+    }
+}

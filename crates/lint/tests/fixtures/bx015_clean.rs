@@ -1,0 +1,32 @@
+//! BX015 clean: the same three locks, always acquired in the one global
+//! order a -> b -> c. The order graph is a DAG, so no cycle fires.
+
+/// Three locks with a consistent acquisition order.
+pub struct Triple {
+    a: Mutex<u8>,
+    b: Mutex<u8>,
+    c: Mutex<u8>,
+}
+
+impl Triple {
+    /// Takes `b` while holding `a` — with the order.
+    pub fn ab(&self) -> u8 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+
+    /// Takes `c` while holding `b` — with the order.
+    pub fn bc(&self) -> u8 {
+        let g = self.b.lock();
+        let h = self.c.lock();
+        *g + *h
+    }
+
+    /// Takes `c` while holding `a` — skipping a level is still ordered.
+    pub fn ac(&self) -> u8 {
+        let g = self.a.lock();
+        let h = self.c.lock();
+        *g + *h
+    }
+}

@@ -1,0 +1,36 @@
+//! BX016 bad: a cache lock held across raw-store I/O — once directly, once
+//! through a `journaled()`-style helper the call graph has to follow.
+
+/// Raw disk surface (a BX010/BX016 sink type).
+pub struct FileStore;
+
+impl FileStore {
+    /// Raw block read.
+    pub fn read_block(&self) -> u8 {
+        0
+    }
+}
+
+/// A cache whose map lock brackets disk reads.
+pub struct Cache {
+    map: Mutex<u8>,
+    store: FileStore,
+}
+
+impl Cache {
+    fn journaled(&self) -> u8 {
+        self.store.read_block()
+    }
+
+    /// Holds the map guard across a *direct* store read.
+    pub fn hot_direct(&self) -> u8 {
+        let g = self.map.lock();
+        *g + self.store.read_block()
+    }
+
+    /// Holds the map guard across a helper that reaches the store.
+    pub fn hot_transitive(&self) -> u8 {
+        let g = self.map.lock();
+        *g + self.journaled()
+    }
+}

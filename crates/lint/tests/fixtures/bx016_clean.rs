@@ -1,0 +1,41 @@
+//! BX016 clean: the same shapes, but the guard is dropped (explicitly or by
+//! a scoped block) before any call that reaches the raw store.
+
+/// Raw disk surface (a BX010/BX016 sink type).
+pub struct FileStore;
+
+impl FileStore {
+    /// Raw block read.
+    pub fn read_block(&self) -> u8 {
+        0
+    }
+}
+
+/// A cache that releases its map lock before touching the disk.
+pub struct Cache {
+    map: Mutex<u8>,
+    store: FileStore,
+}
+
+impl Cache {
+    fn journaled(&self) -> u8 {
+        self.store.read_block()
+    }
+
+    /// Copies what it needs, drops the guard, then reads.
+    pub fn cool_direct(&self) -> u8 {
+        let g = self.map.lock();
+        let cached = *g;
+        drop(g);
+        cached + self.store.read_block()
+    }
+
+    /// Scoped guard window ends before the helper call.
+    pub fn cool_transitive(&self) -> u8 {
+        let cached = {
+            let g = self.map.lock();
+            *g
+        };
+        cached + self.journaled()
+    }
+}

@@ -1,0 +1,27 @@
+//! BX017 bad: the same non-reentrant lock taken twice on one path — once
+//! directly, once through a helper that locks the same field.
+
+/// A counter whose lock gets re-taken while still held.
+pub struct Counter {
+    n: Mutex<u8>,
+}
+
+impl Counter {
+    fn locked_bump(&self) -> u8 {
+        let g = self.n.lock();
+        *g
+    }
+
+    /// Re-locks `n` directly while the first guard is live.
+    pub fn double_direct(&self) -> u8 {
+        let g = self.n.lock();
+        let h = self.n.lock();
+        *g + *h
+    }
+
+    /// Calls a helper that locks `n` while already holding it.
+    pub fn double_transitive(&self) -> u8 {
+        let g = self.n.lock();
+        *g + self.locked_bump()
+    }
+}

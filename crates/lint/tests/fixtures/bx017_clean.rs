@@ -1,0 +1,32 @@
+//! BX017 clean: the guard is released (drop or scope end) before the lock
+//! is taken again, so the windows never overlap.
+
+/// A counter that always releases before re-locking.
+pub struct Counter {
+    n: Mutex<u8>,
+}
+
+impl Counter {
+    fn locked_bump(&self) -> u8 {
+        let g = self.n.lock();
+        *g
+    }
+
+    /// Explicit drop between the two acquisitions.
+    pub fn serial_direct(&self) -> u8 {
+        let g = self.n.lock();
+        let first = *g;
+        drop(g);
+        let h = self.n.lock();
+        first + *h
+    }
+
+    /// Scoped first window, helper runs after it closes.
+    pub fn serial_transitive(&self) -> u8 {
+        let first = {
+            let g = self.n.lock();
+            *g
+        };
+        first + self.locked_bump()
+    }
+}

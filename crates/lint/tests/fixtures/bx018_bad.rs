@@ -1,0 +1,23 @@
+//! BX018 bad: new interior-mutability and shared-ownership sites in library
+//! code — each regresses the burned-down Send/Sync baseline and, with no
+//! matching [[ratchet]] entry, is a hard error.
+
+/// A cache full of thread-hostile state.
+pub struct Cache {
+    slots: RefCell<Vec<u8>>,
+    hits: Cell<u64>,
+    shared: Rc<Vec<u8>>,
+}
+
+static mut GLOBAL: u64 = 0;
+
+thread_local! {
+    static LOCAL: RefCell<u8> = RefCell::new(0);
+}
+
+impl Cache {
+    /// Public API over the regressed state.
+    pub fn api(&self) {
+        self.slots.borrow();
+    }
+}

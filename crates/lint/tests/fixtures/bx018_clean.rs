@@ -1,0 +1,24 @@
+//! BX018 clean: Sync-ready constructs only — locks, atomics, shared-
+//! ownership via Arc is owned state as far as the ratchet is concerned.
+//! Test-only interior mutability stays exempt.
+
+/// A cache built from Send + Sync parts.
+pub struct Cache {
+    slots: Mutex<Vec<u8>>,
+    hits: AtomicU64,
+    shared: Arc<Vec<u8>>,
+}
+
+impl Cache {
+    /// Public API over Sync-ready state.
+    pub fn api(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct Scratch {
+        cell: RefCell<u8>,
+    }
+}

@@ -1,0 +1,19 @@
+//! BX019 bad: bare relaxed atomic orderings in library code — the
+//! workspace standardizes on SeqCst.
+
+/// Counter pair read and bumped with the weakest ordering.
+pub struct Stats {
+    reads: AtomicU64,
+}
+
+impl Stats {
+    /// Loads with a relaxed ordering.
+    pub fn peek(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Stores with a relaxed ordering.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+    }
+}

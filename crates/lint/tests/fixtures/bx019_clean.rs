@@ -1,0 +1,21 @@
+//! BX019 clean: SeqCst everywhere in library code; relaxed orderings are
+//! fine inside test modules.
+
+/// Counter pair using the workspace-standard ordering.
+pub struct Stats {
+    reads: AtomicU64,
+}
+
+impl Stats {
+    /// Loads with the standard ordering.
+    pub fn peek(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn peek_relaxed(n: &AtomicU64) -> u64 {
+        n.load(Ordering::Relaxed)
+    }
+}

@@ -1,6 +1,7 @@
-//! Fixture-driven proof that every rule in the BX001–BX014 catalog fires on
+//! Fixture-driven proof that every rule in the BX001–BX019 catalog fires on
 //! a known-bad snippet and stays quiet on its known-clean counterpart, plus
-//! the stale-suppression negative controls (stream and graph tiers).
+//! the stale-suppression negative controls (stream, graph, and lock tiers,
+//! including the BX018 `[[ratchet]]` table).
 
 use boxes_lint::config::Config;
 use boxes_lint::{apply_baseline, lint_source};
@@ -21,7 +22,7 @@ fn lint_fixture(name: &str) -> Vec<&'static str> {
 fn every_rule_fires_on_its_bad_fixture() {
     for rule in [
         "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
-        "BX011", "BX012", "BX013", "BX014",
+        "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019",
     ] {
         let fired = lint_fixture(&format!("{}_bad", rule.to_lowercase()));
         assert!(
@@ -35,7 +36,7 @@ fn every_rule_fires_on_its_bad_fixture() {
 fn no_rule_fires_on_its_clean_fixture() {
     for rule in [
         "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
-        "BX011", "BX012", "BX013", "BX014",
+        "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019",
     ] {
         let fired = lint_fixture(&format!("{}_clean", rule.to_lowercase()));
         assert!(
@@ -64,6 +65,11 @@ fn bad_fixture_counts_are_pinned() {
         ("bx012_bad", "BX012", 4),
         ("bx013_bad", "BX013", 2),
         ("bx014_bad", "BX014", 2),
+        ("bx015_bad", "BX015", 1),
+        ("bx016_bad", "BX016", 2),
+        ("bx017_bad", "BX017", 2),
+        ("bx018_bad", "BX018", 5),
+        ("bx019_bad", "BX019", 2),
     ];
     for (fixture, rule, want) in cases {
         let fired = lint_fixture(fixture);
@@ -125,6 +131,134 @@ justification = "kept after the bypass was routed through the pager"
         "stale message names the rule: {}",
         outcome.stale_allows[0]
     );
+}
+
+#[test]
+fn bx015_names_the_cycle_and_exports_witnesses() {
+    // The 3-lock cycle fixture must produce one finding that spells out the
+    // full cycle in lock-identity terms.
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx015_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &Config::default());
+    let cycle = diags
+        .iter()
+        .find(|d| d.rule == "BX015")
+        .unwrap_or_else(|| panic!("no BX015 finding: {diags:?}"));
+    for lock in ["Triple.a", "Triple.b", "Triple.c"] {
+        assert!(
+            cycle.message.contains(lock),
+            "cycle message should name {lock}: {}",
+            cycle.message
+        );
+    }
+    assert!(
+        cycle.message.contains("lock-order.json"),
+        "finding should point at the witness artifact: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn stale_ratchet_fails_the_gate() {
+    // A [[ratchet]] entry whose site was retired must fail the gate, same
+    // as a stale [[allow]]: the sync-readiness baseline only shrinks.
+    let toml = r#"
+[[ratchet]]
+path = "crates/fixture/src/lib.rs"
+contains = "site_that_was_retired"
+justification = "kept after the cell was converted to a Mutex"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx018_clean.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert_eq!(
+        outcome.stale_ratchets.len(),
+        1,
+        "{:?}",
+        outcome.stale_ratchets
+    );
+    assert!(
+        !outcome.is_clean(),
+        "a stale [[ratchet]] must fail the gate"
+    );
+    assert!(
+        outcome.stale_ratchets[0].contains("retired"),
+        "stale message explains the fix: {}",
+        outcome.stale_ratchets[0]
+    );
+}
+
+#[test]
+fn live_ratchet_covers_bx018_outside_the_budget() {
+    // Ratcheted findings are accounted separately: they do not consume
+    // max_baselined headroom and do not land in unsuppressed.
+    let toml = r#"
+[limits]
+max_baselined = 0
+
+[[ratchet]]
+path = "crates/fixture/src/lib.rs"
+justification = "fixture exercises deliberate survivors"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx018_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert_eq!(outcome.ratcheted.len(), 5, "{:?}", outcome.ratcheted);
+    assert!(
+        !outcome.unsuppressed.iter().any(|d| d.rule == "BX018"),
+        "ratcheted findings must not stay unsuppressed: {:?}",
+        outcome.unsuppressed
+    );
+    assert!(
+        outcome.budget_violations.is_empty(),
+        "ratcheted findings are outside max_baselined: {:?}",
+        outcome.budget_violations
+    );
+    assert!(outcome.stale_ratchets.is_empty());
+}
+
+#[test]
+fn unratcheted_bx018_is_a_hard_error() {
+    // Without a matching [[ratchet]] entry, BX018 findings cannot be
+    // absorbed by [[allow]] entries — new shared state is a hard stop.
+    let toml = r#"
+[[allow]]
+rule = "BX018"
+path = "crates/fixture/src/lib.rs"
+justification = "attempting to baseline the ratchet rule"
+"#;
+    let config = Config::parse(toml).expect("baseline parses");
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/bx018_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let diags = lint_source("crates/fixture/src/lib.rs", &text, &config);
+    let outcome = apply_baseline(diags, &config);
+    assert_eq!(
+        outcome
+            .unsuppressed
+            .iter()
+            .filter(|d| d.rule == "BX018")
+            .count(),
+        5,
+        "BX018 must ignore [[allow]] entries: {:?}",
+        outcome.unsuppressed
+    );
+    assert!(!outcome.is_clean());
 }
 
 #[test]

@@ -21,12 +21,12 @@
 //!
 //! `CrashClock`: [`boxes-wal`](../../boxes_wal/crashpoint/struct.CrashClock.html)
 
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::codec;
-use crate::{BlockId, FaultInjector, WriteFault};
+use crate::{lock_unpoisoned, BlockId, FaultInjector, WriteFault};
 
 /// SplitMix64 — the workspace's standard seeded mixer (shared with the WAL's
 /// crash clock so fault plans and crash points draw from one family).
@@ -157,84 +157,88 @@ impl FaultPlanConfig {
 /// Every injected fault is recorded in a transcript for the chaos artifact.
 pub struct FaultPlan {
     config: FaultPlanConfig,
-    reads_seen: Cell<u64>,
-    writes_seen: Cell<u64>,
+    reads_seen: AtomicU64,
+    writes_seen: AtomicU64,
     /// Remaining failures of in-progress transient streaks, keyed by
     /// (site, block).
-    streaks: RefCell<BTreeMap<(u8, u32), u32>>,
-    persistent_write_blocks: RefCell<BTreeSet<u32>>,
-    persistent_read_blocks: RefCell<BTreeSet<u32>>,
-    fail_all_writes_after: Cell<Option<u64>>,
-    transcript: RefCell<Vec<FaultEvent>>,
+    streaks: Mutex<BTreeMap<(u8, u32), u32>>,
+    persistent_write_blocks: Mutex<BTreeSet<u32>>,
+    persistent_read_blocks: Mutex<BTreeSet<u32>>,
+    /// Write-attempt count past which every write fails persistently;
+    /// `u64::MAX` means "never" (disarmed).
+    fail_all_writes_after: AtomicU64,
+    transcript: Mutex<Vec<FaultEvent>>,
 }
 
 impl FaultPlan {
     /// Build a plan from `config`.
-    pub fn new(config: FaultPlanConfig) -> Rc<Self> {
-        Rc::new(Self {
+    pub fn new(config: FaultPlanConfig) -> Arc<Self> {
+        Arc::new(Self {
             config,
-            reads_seen: Cell::new(0),
-            writes_seen: Cell::new(0),
-            streaks: RefCell::new(BTreeMap::new()),
-            persistent_write_blocks: RefCell::new(BTreeSet::new()),
-            persistent_read_blocks: RefCell::new(BTreeSet::new()),
-            fail_all_writes_after: Cell::new(None),
-            transcript: RefCell::new(Vec::new()),
+            reads_seen: AtomicU64::new(0),
+            writes_seen: AtomicU64::new(0),
+            streaks: Mutex::new(BTreeMap::new()),
+            persistent_write_blocks: Mutex::new(BTreeSet::new()),
+            persistent_read_blocks: Mutex::new(BTreeSet::new()),
+            fail_all_writes_after: AtomicU64::new(u64::MAX),
+            transcript: Mutex::new(Vec::new()),
         })
     }
 
     /// Every write to `id` fails persistently from now on.
     pub fn fail_writes_to(&self, id: BlockId) {
-        self.persistent_write_blocks.borrow_mut().insert(id.0);
+        lock_unpoisoned(&self.persistent_write_blocks).insert(id.0);
     }
 
     /// Every read of `id` fails persistently from now on.
     pub fn fail_reads_of(&self, id: BlockId) {
-        self.persistent_read_blocks.borrow_mut().insert(id.0);
+        lock_unpoisoned(&self.persistent_read_blocks).insert(id.0);
     }
 
     /// Schedule a transient streak: the next `attempts` writes to `id` fail
     /// with `TransientError`, then the sector recovers — the targeted way to
     /// exercise the retry path without probabilistic rates.
     pub fn stumble_writes_to(&self, id: BlockId, attempts: u32) {
-        self.streaks.borrow_mut().insert((1u8, id.0), attempts);
+        lock_unpoisoned(&self.streaks).insert((1u8, id.0), attempts);
     }
 
     /// Like [`FaultPlan::stumble_writes_to`] for the read site.
     pub fn stumble_reads_of(&self, id: BlockId, attempts: u32) {
-        self.streaks.borrow_mut().insert((0u8, id.0), attempts);
+        lock_unpoisoned(&self.streaks).insert((0u8, id.0), attempts);
     }
 
     /// After `n` more write attempts, *all* writes fail persistently — the
     /// disk's write path dies mid-workload (the degraded-mode trigger).
     pub fn fail_all_writes_after(&self, n: u64) {
-        self.fail_all_writes_after
-            .set(Some(self.writes_seen.get() + n));
+        self.fail_all_writes_after.store(
+            self.writes_seen.load(Ordering::SeqCst) + n,
+            Ordering::SeqCst,
+        );
     }
 
     /// Lift every scheduled persistent fault (the "disk replaced" event for
     /// resume scenarios). Probabilistic rates keep applying.
     pub fn heal(&self) {
-        self.persistent_write_blocks.borrow_mut().clear();
-        self.persistent_read_blocks.borrow_mut().clear();
-        self.fail_all_writes_after.set(None);
-        self.streaks.borrow_mut().clear();
+        lock_unpoisoned(&self.persistent_write_blocks).clear();
+        lock_unpoisoned(&self.persistent_read_blocks).clear();
+        self.fail_all_writes_after.store(u64::MAX, Ordering::SeqCst);
+        lock_unpoisoned(&self.streaks).clear();
     }
 
     /// Copy of the fault transcript so far.
     #[must_use]
     pub fn events(&self) -> Vec<FaultEvent> {
-        self.transcript.borrow().clone()
+        lock_unpoisoned(&self.transcript).clone()
     }
 
     /// Number of faults injected so far.
     #[must_use]
     pub fn injected(&self) -> usize {
-        self.transcript.borrow().len()
+        lock_unpoisoned(&self.transcript).len()
     }
 
     fn record(&self, attempt: u64, site: FaultSite, block: BlockId, kind: &'static str) {
-        self.transcript.borrow_mut().push(FaultEvent {
+        lock_unpoisoned(&self.transcript).push(FaultEvent {
             attempt,
             site,
             block,
@@ -261,7 +265,7 @@ impl FaultPlan {
             },
             block.0,
         );
-        let mut streaks = self.streaks.borrow_mut();
+        let mut streaks = lock_unpoisoned(&self.streaks);
         if fresh {
             streaks.insert(key, self.config.transient_streak);
         }
@@ -283,13 +287,9 @@ impl FaultPlan {
 
 impl FaultInjector for FaultPlan {
     fn on_block_write(&self, id: BlockId) -> WriteFault {
-        let attempt = self.writes_seen.get() + 1;
-        self.writes_seen.set(attempt);
-        let all_dead = self
-            .fail_all_writes_after
-            .get()
-            .is_some_and(|after| attempt > after);
-        if all_dead || self.persistent_write_blocks.borrow().contains(&id.0) {
+        let attempt = self.writes_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        let all_dead = attempt > self.fail_all_writes_after.load(Ordering::SeqCst);
+        if all_dead || lock_unpoisoned(&self.persistent_write_blocks).contains(&id.0) {
             self.record(attempt, FaultSite::Write, id, "persistent-eio");
             return WriteFault::PersistentError;
         }
@@ -322,9 +322,8 @@ impl FaultInjector for FaultPlan {
     }
 
     fn on_block_read(&self, id: BlockId) -> ReadFault {
-        let attempt = self.reads_seen.get() + 1;
-        self.reads_seen.set(attempt);
-        if self.persistent_read_blocks.borrow().contains(&id.0) {
+        let attempt = self.reads_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if lock_unpoisoned(&self.persistent_read_blocks).contains(&id.0) {
             self.record(attempt, FaultSite::Read, id, "persistent-eio");
             return ReadFault::PersistentError;
         }
@@ -362,7 +361,7 @@ impl FaultInjector for FaultPlan {
 mod tests {
     use super::*;
 
-    fn plan(config: FaultPlanConfig) -> Rc<FaultPlan> {
+    fn plan(config: FaultPlanConfig) -> Arc<FaultPlan> {
         FaultPlan::new(config)
     }
 

@@ -46,8 +46,7 @@ pub use stats::IoStats;
 
 use boxes_trace::{record as trace_record, Counter as TraceCounter};
 use pool::BufferPool;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default block size used throughout the reproduction: 8 KB, matching §7
 /// ("For all experiments, the block size is set to 8KB").
@@ -164,8 +163,9 @@ pub struct TxnRecord {
 }
 
 /// Write-ahead journal hook. Implemented by `boxes-wal`; the pager only
-/// knows the protocol: log first, then apply.
-pub trait Journal {
+/// knows the protocol: log first, then apply. `Send + Sync` so a journaled
+/// pager can be shared across threads behind [`SharedPager`].
+pub trait Journal: Send + Sync {
     /// Persist `record` ahead of any backend write. Returns `true` when the
     /// record (and every earlier one) reached durable storage — the pager
     /// then applies all buffered after-images to the backend. Returning
@@ -211,8 +211,9 @@ pub enum WriteFault {
 
 /// Fault-injection hook consulted before every backend block I/O: applied
 /// block writes via [`FaultInjector::on_block_write`], checked block reads
-/// via [`FaultInjector::on_block_read`].
-pub trait FaultInjector {
+/// via [`FaultInjector::on_block_read`]. `Send + Sync` for the same reason
+/// as [`Journal`]: the hook is called with the pager shared across threads.
+pub trait FaultInjector: Send + Sync {
     /// Decide the fate of the pending write to `id`.
     fn on_block_write(&self, id: BlockId) -> WriteFault;
 
@@ -458,8 +459,8 @@ struct PagerInner {
     free: Vec<u32>,
     stats: IoStats,
     pool: BufferPool,
-    journal: Option<Rc<dyn Journal>>,
-    fault: Option<Rc<dyn FaultInjector>>,
+    journal: Option<Arc<dyn Journal>>,
+    fault: Option<Arc<dyn FaultInjector>>,
     txn: TxnState,
     overlay: Overlay,
     retry: RetryPolicy,
@@ -638,19 +639,39 @@ impl Backend {
 
 /// An in-memory simulated disk of fixed-size blocks with I/O accounting.
 ///
-/// Single-threaded by design (the paper's experiments are single-user); uses
-/// interior mutability so the many structures sharing one pager can hold
-/// plain `Rc` handles.
+/// `Send + Sync`: all mutable state sits behind one coarse [`Mutex`], so the
+/// many structures sharing one pager hold plain [`Arc`] handles and reader
+/// sessions on other threads can run lookups concurrently with the main
+/// session (ROADMAP item 1; the paper's experiments are single-user, but the
+/// substrate no longer forces that).
 pub struct Pager {
     block_size: usize,
-    inner: RefCell<PagerInner>,
+    inner: Mutex<PagerInner>,
 }
 
 /// Shared handle to a [`Pager`]. All data structures in this workspace take
 /// one of these so a single simulated disk backs the whole database.
-pub type SharedPager = Rc<Pager>;
+pub type SharedPager = Arc<Pager>;
+
+/// Acquire `m`, recovering from poisoning. Crash injection intentionally
+/// panics (`CrashSignal`, typed [`PagerError`] payloads) while locks are
+/// held; harnesses catch the unwind and then inspect the surviving state
+/// (`disk_image`, recovery), so a poisoned lock must keep serving — the
+/// guarded state is crash-consistent by construction. This is the
+/// workspace's canonical lock-acquisition helper; the lock-discipline lint
+/// (BX015–BX017) recognizes it as an acquisition site.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 impl Pager {
+    /// Acquire the pager lock (poison-recovering; see [`lock_unpoisoned`]).
+    fn lock(&self) -> MutexGuard<'_, PagerInner> {
+        lock_unpoisoned(&self.inner)
+    }
     /// Create a pager with the given configuration.
     pub fn new(config: PagerConfig) -> SharedPager {
         assert!(config.block_size >= 16, "block size unreasonably small");
@@ -661,9 +682,9 @@ impl Pager {
                     .unwrap_or_else(|e| panic!("cannot create pager file {path:?}: {e}")),
             ),
         };
-        Rc::new(Pager {
+        Arc::new(Pager {
             block_size: config.block_size,
-            inner: RefCell::new(PagerInner {
+            inner: Mutex::new(PagerInner {
                 backend,
                 free: Vec::new(),
                 stats: IoStats::default(),
@@ -688,9 +709,9 @@ impl Pager {
             .into_iter()
             .map(|slot| slot.map(|b| MemBlock::fresh(b.data)))
             .collect();
-        Rc::new(Pager {
+        Arc::new(Pager {
             block_size: image.block_size,
-            inner: RefCell::new(PagerInner {
+            inner: Mutex::new(PagerInner {
                 backend: Backend::Memory(blocks),
                 free,
                 stats: IoStats::default(),
@@ -712,7 +733,7 @@ impl Pager {
     /// the contents of a dead process's heap.
     #[must_use]
     pub fn disk_image(&self) -> DiskImage {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let len = inner.backend.len();
         let mut blocks = Vec::with_capacity(len);
         for idx in 0..len {
@@ -738,8 +759,8 @@ impl Pager {
     /// Panics if a buffer pool is configured (the journal's write-ahead
     /// guarantee is defined against the paper's pool-off setup) or if a
     /// transaction is already open.
-    pub fn attach_journal(&self, journal: Rc<dyn Journal>) {
-        let mut inner = self.inner.borrow_mut();
+    pub fn attach_journal(&self, journal: Arc<dyn Journal>) {
+        let mut inner = self.lock();
         assert_eq!(
             inner.pool.capacity(),
             0,
@@ -751,22 +772,22 @@ impl Pager {
 
     /// Attach a crash/torn-write fault injector consulted on every applied
     /// backend block write.
-    pub fn attach_fault_injector(&self, fault: Rc<dyn FaultInjector>) {
-        self.inner.borrow_mut().fault = Some(fault);
+    pub fn attach_fault_injector(&self, fault: Arc<dyn FaultInjector>) {
+        self.lock().fault = Some(fault);
     }
 
     /// Whether a journal is attached.
     pub fn journaled(&self) -> bool {
-        self.inner.borrow().journal.is_some()
+        self.lock().journal.is_some()
     }
 
     /// Open an operation-scoped transaction. Nested calls return nested
     /// scopes; only the outermost commits. Without an attached journal this
     /// is pure bookkeeping and changes nothing about pager behavior.
-    pub fn txn(self: &Rc<Self>) -> TxnScope {
-        self.inner.borrow_mut().txn.depth += 1;
+    pub fn txn(self: &Arc<Self>) -> TxnScope {
+        self.lock().txn.depth += 1;
         TxnScope {
-            pager: Rc::clone(self),
+            pager: Arc::clone(self),
         }
     }
 
@@ -776,21 +797,17 @@ impl Pager {
     /// name within one transaction overwrite earlier ones.
     pub fn txn_meta(&self, name: &str, bytes: impl FnOnce() -> Vec<u8>) {
         let needed = {
-            let inner = self.inner.borrow();
+            let inner = self.lock();
             inner.journal.is_some() && inner.txn.depth > 0
         };
         if needed {
             let blob = bytes();
-            self.inner
-                .borrow_mut()
-                .txn
-                .metas
-                .insert(name.to_string(), blob);
+            self.lock().txn.metas.insert(name.to_string(), blob);
         }
     }
 
     fn abort_txn(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.txn.depth = inner.txn.depth.saturating_sub(1);
         if inner.txn.depth == 0 {
             inner.txn.cache.clear();
@@ -802,7 +819,7 @@ impl Pager {
 
     fn end_txn(&self) {
         let (journal, record) = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             assert!(inner.txn.depth > 0, "transaction scope underflow");
             inner.txn.depth -= 1;
             if inner.txn.depth > 0 {
@@ -822,7 +839,7 @@ impl Pager {
         };
         let synced = journal.commit(&record);
         let applied_ok = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             if synced {
                 // Merge the overlay (older) with this record (newer) into a
                 // single apply batch so one backend pass either drains
@@ -1093,9 +1110,9 @@ impl Pager {
             .into_iter()
             .map(|idx| codec::usize_to_u32(idx).unwrap_or(u32::MAX))
             .collect();
-        Ok(Rc::new(Pager {
+        Ok(Arc::new(Pager {
             block_size,
-            inner: RefCell::new(PagerInner {
+            inner: Mutex::new(PagerInner {
                 backend: Backend::File(store),
                 free,
                 stats: IoStats::default(),
@@ -1149,7 +1166,7 @@ impl Pager {
     /// every mutation must belong to a recoverable operation. While degraded
     /// (read-only), panics with a typed [`PagerError::Degraded`] payload.
     pub fn alloc(&self) -> BlockId {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(reason) = inner.degraded {
             std::panic::panic_any(PagerError::Degraded(reason));
         }
@@ -1200,7 +1217,7 @@ impl Pager {
     /// journal is attached and no [`TxnScope`] is open. While degraded
     /// (read-only), panics with a typed [`PagerError::Degraded`] payload.
     pub fn free(&self, id: BlockId) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(reason) = inner.degraded {
             std::panic::panic_any(PagerError::Degraded(reason));
         }
@@ -1260,7 +1277,7 @@ impl Pager {
     }
 
     fn read_impl(&self, id: BlockId) -> Result<Box<[u8]>, PagerError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if inner.journal.is_some() {
             inner.stats.reads += 1;
             trace_record(TraceCounter::BlockRead, 1);
@@ -1317,7 +1334,7 @@ impl Pager {
 
     fn write_impl(&self, id: BlockId, data: &[u8]) -> Result<(), PagerError> {
         assert_eq!(data.len(), self.block_size, "write of wrong-sized block");
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(reason) = inner.degraded {
             return Err(PagerError::Degraded(reason));
         }
@@ -1388,7 +1405,7 @@ impl Pager {
     /// Panics with a typed [`PagerError`] payload when a write-back fault
     /// survives the retry budget.
     pub fn flush(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         for (id, data) in inner.pool.take_dirty() {
             if let Err(err) = Self::write_back(&mut inner, id, data) {
                 std::panic::panic_any(err);
@@ -1399,20 +1416,20 @@ impl Pager {
     /// Drop every pooled block, writing back dirty ones first.
     pub fn clear_pool(&self) {
         self.flush();
-        self.inner.borrow_mut().pool.clear();
+        self.lock().pool.clear();
     }
 
     /// Snapshot of the I/O counters.
     #[must_use]
     pub fn stats(&self) -> IoStats {
-        self.inner.borrow().stats
+        self.lock().stats
     }
 
     /// Current service state: [`Health::Ok`], or [`Health::Degraded`] after
     /// an unrecoverable fault (reads keep working; mutations fail fast).
     #[must_use]
     pub fn health(&self) -> Health {
-        match self.inner.borrow().degraded {
+        match self.lock().degraded {
             None => Health::Ok,
             Some(reason) => Health::Degraded(reason),
         }
@@ -1423,7 +1440,7 @@ impl Pager {
     /// again).
     #[must_use]
     pub fn degraded_entries(&self) -> u64 {
-        self.inner.borrow().degraded_entries
+        self.lock().degraded_entries
     }
 
     /// Attempt to leave degraded mode: re-apply every parked overlay frame
@@ -1433,7 +1450,7 @@ impl Pager {
     /// parked again and the original [`PagerError::Degraded`] is returned.
     pub fn try_resume(&self) -> Result<(), PagerError> {
         let journal = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             let Some(reason) = inner.degraded else {
                 return Ok(());
             };
@@ -1453,13 +1470,13 @@ impl Pager {
     /// Replace the transient-fault retry policy (defaults to
     /// [`RetryPolicy::default`]).
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        self.inner.borrow_mut().retry = policy;
+        self.lock().retry = policy;
     }
 
     /// The transient-fault retry policy in effect.
     #[must_use]
     pub fn retry_policy(&self) -> RetryPolicy {
-        self.inner.borrow().retry
+        self.lock().retry
     }
 
     /// Flip `mask` into the stored byte at `offset` of block `id`, leaving
@@ -1467,20 +1484,20 @@ impl Pager {
     /// (`boxes_core::faultlib`, the chaos sweep). No-op if the block is not
     /// allocated or `offset` is out of range. Not an accounted I/O.
     pub fn corrupt_block(&self, id: BlockId, offset: usize, mask: u8) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.pool.discard(id);
         inner.backend.corrupt(id, offset, mask, self.block_size);
     }
 
     /// Buffer-pool hit/miss counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.inner.borrow().pool.stats()
+        self.lock().pool.stats()
     }
 
     /// Reset the I/O and buffer-pool counters to zero (pool contents are
     /// kept).
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.stats = IoStats::default();
         inner.pool.reset_stats();
     }
@@ -1488,7 +1505,7 @@ impl Pager {
     /// Number of currently allocated blocks — the paper's "total space"
     /// metric, in blocks.
     pub fn allocated_blocks(&self) -> usize {
-        self.inner.borrow().backend.allocated_count()
+        self.lock().backend.allocated_count()
     }
 
     /// Whether `id` names a currently allocated block. No I/O is charged:
@@ -1497,7 +1514,7 @@ impl Pager {
     /// Under a journal, blocks freed by the open scope or the group-commit
     /// overlay already count as deallocated.
     pub fn is_allocated(&self, id: BlockId) -> bool {
-        !id.is_invalid() && Self::txn_is_allocated(&self.inner.borrow(), id)
+        !id.is_invalid() && Self::txn_is_allocated(&self.lock(), id)
     }
 
     /// Total bytes currently allocated.
@@ -1513,7 +1530,7 @@ impl boxes_audit::Auditable for Pager {
     /// the single-threaded analog of a pin-count leak check.
     fn audit(&self) -> boxes_audit::AuditReport {
         use boxes_audit::{Violation, ViolationKind};
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         let mut report = boxes_audit::AuditReport::new();
         let len = inner.backend.len();
         let mut seen = std::collections::HashSet::new();
@@ -1567,7 +1584,7 @@ impl boxes_audit::Auditable for Pager {
 
 impl std::fmt::Debug for Pager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         f.debug_struct("Pager")
             .field("block_size", &self.block_size)
             .field("blocks", &inner.backend.len())
@@ -1726,30 +1743,39 @@ mod tests {
     /// Test journal capturing every committed record; `sync_every` > 1
     /// simulates group commit by reporting "not yet durable".
     struct MockJournal {
-        records: RefCell<Vec<TxnRecord>>,
+        records: Mutex<Vec<TxnRecord>>,
         sync_every: usize,
-        applied: std::cell::Cell<usize>,
+        applied: std::sync::atomic::AtomicUsize,
     }
 
     impl MockJournal {
-        fn new(sync_every: usize) -> Rc<Self> {
-            Rc::new(Self {
-                records: RefCell::new(Vec::new()),
+        fn new(sync_every: usize) -> Arc<Self> {
+            Arc::new(Self {
+                records: Mutex::new(Vec::new()),
                 sync_every,
-                applied: std::cell::Cell::new(0),
+                applied: std::sync::atomic::AtomicUsize::new(0),
             })
+        }
+
+        fn records(&self) -> std::sync::MutexGuard<'_, Vec<TxnRecord>> {
+            self.records.lock().unwrap()
+        }
+
+        fn applied_count(&self) -> usize {
+            self.applied.load(std::sync::atomic::Ordering::SeqCst)
         }
     }
 
     impl Journal for MockJournal {
         fn commit(&self, record: &TxnRecord) -> bool {
-            let mut records = self.records.borrow_mut();
+            let mut records = self.records();
             records.push(record.clone());
             records.len().is_multiple_of(self.sync_every)
         }
 
         fn applied(&self) {
-            self.applied.set(self.applied.get() + 1);
+            self.applied
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         }
     }
 
@@ -1779,7 +1805,7 @@ mod tests {
             p.write(b, &[2u8; 64]);
             p.write(a, &[7u8; 64]); // overwrite coalesces into one frame
         }
-        let records = j.records.borrow();
+        let records = j.records();
         assert_eq!(records.len(), 1, "one logical op = one record");
         let rec = &records[0];
         assert_eq!(rec.frames.len(), 2);
@@ -1793,7 +1819,7 @@ mod tests {
             Some("pager"),
             "allocator state rides along"
         );
-        assert_eq!(j.applied.get(), 1);
+        assert_eq!(j.applied_count(), 1);
         // Applied to the backend: readable outside any scope.
         assert_eq!(p.read(BlockId(0))[0], 7);
         assert_eq!(p.read(BlockId(1))[0], 2);
@@ -1814,7 +1840,7 @@ mod tests {
             let _txn = p.txn();
             p.write(id, &[6u8; 64]);
         }
-        let records = j.records.borrow();
+        let records = j.records();
         let before = records[1].frames[0].before.as_ref().expect("has before");
         assert_eq!(before[0], 5);
         assert_eq!(records[1].frames[0].after[0], 6);
@@ -1837,7 +1863,7 @@ mod tests {
             std::panic::panic_any(CrashSignal);
         }));
         assert!(result.is_err());
-        assert_eq!(j.records.borrow().len(), 1, "crashed op never journaled");
+        assert_eq!(j.records().len(), 1, "crashed op never journaled");
         assert_eq!(p.read(id)[0], 9, "backend keeps committed image");
     }
 
@@ -1901,7 +1927,7 @@ mod tests {
         // Second commit synced: everything applied.
         let image = p.disk_image();
         assert!(image.blocks[0].as_ref().is_some_and(|b| b.data[0] == 2));
-        assert_eq!(j.applied.get(), 1);
+        assert_eq!(j.applied_count(), 1);
     }
 
     #[test]
@@ -2038,7 +2064,7 @@ mod tests {
             p.write(id, &[6u8; 64]);
             id
         };
-        p.attach_journal(Rc::new(RepairingJournal {
+        p.attach_journal(Arc::new(RepairingJournal {
             block: id,
             image: vec![6u8; 64].into_boxed_slice(),
         }));
@@ -2083,10 +2109,7 @@ mod tests {
         let a = p.alloc();
         p.write(a, &[8u8; 64]);
         // Simulate a torn apply directly at the backend layer.
-        p.inner
-            .borrow_mut()
-            .backend
-            .write_torn(a, &[0xFFu8; 64], 10);
+        p.lock().backend.write_torn(a, &[0xFFu8; 64], 10);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.read(a)));
         assert!(err.is_err(), "torn page must not decode silently");
         let image = p.disk_image();

@@ -48,7 +48,7 @@ fn unique_path() -> std::path::PathBuf {
 /// budget: transient streaks of 1, short writes (retried), latency stalls.
 /// No bit flips — without a journal there is no repair source, and this
 /// test is about the free list, not degraded mode.
-fn noisy_plan(seed: u64) -> std::rc::Rc<FaultPlan> {
+fn noisy_plan(seed: u64) -> std::sync::Arc<FaultPlan> {
     FaultPlan::new(FaultPlanConfig {
         read_error_rate: 3000,  // ~4.6 % of read attempts
         write_error_rate: 3000, // ~4.6 % of write attempts
@@ -58,7 +58,7 @@ fn noisy_plan(seed: u64) -> std::rc::Rc<FaultPlan> {
     })
 }
 
-fn open(path: &std::path::Path, plan: &std::rc::Rc<FaultPlan>) -> SharedPager {
+fn open(path: &std::path::Path, plan: &std::sync::Arc<FaultPlan>) -> SharedPager {
     let pager = Pager::open_file(path, BS).expect("open file-backed pager");
     pager.attach_fault_injector(plan.clone());
     // A generous budget: each attempt re-rolls the plan's rates, so a run of
@@ -209,7 +209,7 @@ fn noisy_plan_actually_injects_on_this_workload() {
 
 fn run_counting(
     path: &std::path::Path,
-    plan: &std::rc::Rc<FaultPlan>,
+    plan: &std::sync::Arc<FaultPlan>,
     script: &[Op],
 ) -> boxes_pager::IoStats {
     let pager = open(path, plan);

@@ -24,8 +24,13 @@
 //! There is no wall clock anywhere (lint rule BX007): time is a logical
 //! tick counter advanced once per recorded event and span transition, so
 //! two runs of the same seeded workload produce byte-identical reports.
-//! The tracer is a thread-local — the whole workspace is single-threaded
-//! `Rc`/`RefCell` code — and this crate deliberately has zero dependencies
+//! Span *stacks* are thread-local (a span opened on one thread can only be
+//! closed there, and only attributes events recorded on that thread), but
+//! the registry behind them — ticks, tallies, aggregates, the event ring —
+//! is a single mutex-guarded global, so a report taken on the main thread
+//! accounts for reader threads too and the identity below holds across
+//! threads. Single-threaded runs see the exact same tick sequence as the
+//! old thread-local tracer. This crate deliberately has zero dependencies
 //! so the pager can sit above it.
 //!
 //! # Accounting identity
@@ -47,6 +52,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of distinct [`Counter`] kinds.
 pub const COUNTER_KINDS: usize = 12;
@@ -316,11 +322,12 @@ struct Frame {
 /// Default bound on the ring buffer of closed-span events.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
+/// The shared registry: everything except the per-thread span stacks.
 #[derive(Default)]
 struct Tracer {
     next_id: u64,
     ticks: u64,
-    stack: Vec<Frame>,
+    open_spans: u64,
     attributed: TraceCounters,
     unattributed: TraceCounters,
     events: VecDeque<SpanEvent>,
@@ -336,24 +343,59 @@ impl Tracer {
         self.ticks = self.ticks.saturating_add(1);
         self.ticks
     }
+}
 
-    fn open(&mut self, scheme: &'static str, label: &'static str, phase: bool) -> u64 {
-        let start_tick = self.tick();
-        self.next_id = self.next_id.saturating_add(1);
-        let id = self.next_id;
-        let (parent, depth, scheme) = match self.stack.last() {
-            Some(top) => {
-                // Phase sub-spans inherit the scheme tag they run under.
-                let s = if phase && scheme.is_empty() {
-                    top.scheme
-                } else {
-                    scheme
-                };
-                (top.id, top.depth.saturating_add(1), s)
-            }
-            None => (0, 0, scheme),
-        };
-        self.stack.push(Frame {
+// Per-thread span stack. Only the frames live here: a span attributes
+// events recorded on its own thread, while every tally and aggregate is
+// folded into the global registry so cross-thread reports stay complete.
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+static TRACER: OnceLock<Mutex<Tracer>> = OnceLock::new();
+
+fn with_tracer<R>(f: impl FnOnce(&mut Tracer) -> R) -> R {
+    let tracer = TRACER.get_or_init(|| {
+        Mutex::new(Tracer {
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            ..Tracer::default()
+        })
+    });
+    // Recover from poisoning: crash injection panics mid-workload by
+    // design, and the registry's counters stay internally consistent (every
+    // mutation completes before the panic sites in pager/wal code run).
+    let mut guard = match tracer.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+fn with_stack<R>(f: impl FnOnce(&mut Vec<Frame>) -> R) -> R {
+    STACK.with(|s| f(&mut s.borrow_mut()))
+}
+
+fn open_span(scheme: &'static str, label: &'static str, phase: bool) -> u64 {
+    let (parent, depth, scheme) = with_stack(|stack| match stack.last() {
+        Some(top) => {
+            // Phase sub-spans inherit the scheme tag they run under.
+            let s = if phase && scheme.is_empty() {
+                top.scheme
+            } else {
+                scheme
+            };
+            (top.id, top.depth.saturating_add(1), s)
+        }
+        None => (0, 0, scheme),
+    });
+    let (id, start_tick) = with_tracer(|t| {
+        let start_tick = t.tick();
+        t.next_id = t.next_id.saturating_add(1);
+        t.open_spans = t.open_spans.saturating_add(1);
+        (t.next_id, start_tick)
+    });
+    with_stack(|stack| {
+        stack.push(Frame {
             id,
             parent,
             depth,
@@ -363,38 +405,47 @@ impl Tracer {
             start_tick,
             counters: TraceCounters::default(),
         });
-        id
-    }
+    });
+    id
+}
 
-    fn close(&mut self, id: u64) {
-        let end_tick = self.tick();
-        // Spans close LIFO in correct code; tolerate (and count) an
-        // out-of-order close rather than corrupting the stack.
-        let pos = match self.stack.iter().rposition(|f| f.id == id) {
-            Some(p) => p,
-            None => return,
-        };
-        if pos != self.stack.len() - 1 {
-            self.out_of_order_closes = self.out_of_order_closes.saturating_add(1);
-        }
-        let frame = self.stack.remove(pos);
-        if let Some(parent) = self.stack.last_mut() {
+fn close_span(id: u64) {
+    // Spans close LIFO in correct code; tolerate (and count) an
+    // out-of-order close rather than corrupting the stack. A close for a
+    // frame this thread does not own (never possible through the RAII
+    // handle) is ignored.
+    let closed = with_stack(|stack| {
+        let pos = stack.iter().rposition(|f| f.id == id)?;
+        let out_of_order = pos != stack.len() - 1;
+        let frame = stack.remove(pos);
+        if let Some(parent) = stack.last_mut() {
             parent.counters.merge(&frame.counters);
         }
+        Some((frame, out_of_order))
+    });
+    let Some((frame, out_of_order)) = closed else {
+        return;
+    };
+    with_tracer(|t| {
+        let end_tick = t.tick();
+        t.open_spans = t.open_spans.saturating_sub(1);
+        if out_of_order {
+            t.out_of_order_closes = t.out_of_order_closes.saturating_add(1);
+        }
         let map = if frame.phase {
-            &mut self.phases
+            &mut t.phases
         } else {
-            &mut self.ops
+            &mut t.ops
         };
         map.entry((frame.scheme, frame.label))
             .or_default()
             .absorb(&frame.counters);
-        if self.event_capacity > 0 {
-            if self.events.len() >= self.event_capacity {
-                self.events.pop_front();
-                self.dropped_events = self.dropped_events.saturating_add(1);
+        if t.event_capacity > 0 {
+            if t.events.len() >= t.event_capacity {
+                t.events.pop_front();
+                t.dropped_events = t.dropped_events.saturating_add(1);
             }
-            self.events.push_back(SpanEvent {
+            t.events.push_back(SpanEvent {
                 id: frame.id,
                 parent: frame.parent,
                 depth: frame.depth,
@@ -406,29 +457,7 @@ impl Tracer {
                 counters: frame.counters,
             });
         }
-    }
-
-    fn record(&mut self, kind: Counter, n: u64) {
-        self.tick();
-        match self.stack.last_mut() {
-            Some(top) => {
-                top.counters.bump(kind, n);
-                self.attributed.bump(kind, n);
-            }
-            None => self.unattributed.bump(kind, n),
-        }
-    }
-}
-
-thread_local! {
-    static TRACER: RefCell<Tracer> = RefCell::new(Tracer {
-        event_capacity: DEFAULT_EVENT_CAPACITY,
-        ..Tracer::default()
     });
-}
-
-fn with_tracer<R>(f: impl FnOnce(&mut Tracer) -> R) -> R {
-    TRACER.with(|t| f(&mut t.borrow_mut()))
 }
 
 /// RAII span: open at construction, closed (and folded into its parent)
@@ -447,7 +476,7 @@ impl OpSpan {
     /// "delete", "bulk_load", …).
     pub fn op(scheme: &'static str, op: &'static str) -> OpSpan {
         OpSpan {
-            id: with_tracer(|t| t.open(scheme, op, false)),
+            id: open_span(scheme, op, false),
         }
     }
 
@@ -456,42 +485,61 @@ impl OpSpan {
     /// enclosing span.
     pub fn phase(name: &'static str) -> OpSpan {
         OpSpan {
-            id: with_tracer(|t| t.open("", name, true)),
+            id: open_span("", name, true),
         }
     }
 }
 
 impl Drop for OpSpan {
     fn drop(&mut self) {
-        with_tracer(|t| t.close(self.id));
+        close_span(self.id);
     }
 }
 
-/// Record `n` events of `kind` against the innermost open span (or the
-/// unattributed tally when no span is open). Called by the pager and the
-/// WAL at the same sites that bump their own stats.
+/// Record `n` events of `kind` against the innermost span open *on this
+/// thread* (or the global unattributed tally when none is). Called by the
+/// pager and the WAL at the same sites that bump their own stats.
 pub fn record(kind: Counter, n: u64) {
-    if n > 0 {
-        with_tracer(|t| t.record(kind, n));
+    if n == 0 {
+        return;
     }
+    let attributed = with_stack(|stack| match stack.last_mut() {
+        Some(top) => {
+            top.counters.bump(kind, n);
+            true
+        }
+        None => false,
+    });
+    with_tracer(|t| {
+        t.tick();
+        if attributed {
+            t.attributed.bump(kind, n);
+        } else {
+            t.unattributed.bump(kind, n);
+        }
+    });
 }
 
-/// Reset the thread's tracer to empty (counters, aggregates, events,
+/// Reset the global registry to empty (counters, aggregates, events,
 /// ticks). Open spans survive but their already-recorded counts are gone;
-/// reset between spans, not inside one.
+/// reset between spans — on a single thread, with no reader threads mid-op
+/// — not inside one.
 pub fn reset() {
     with_tracer(|t| {
         let capacity = t.event_capacity;
-        let mut fresh = Tracer {
+        let next_id = t.next_id;
+        let open = t.open_spans;
+        *t = Tracer {
             event_capacity: capacity,
+            next_id,
+            open_spans: open,
             ..Tracer::default()
         };
-        std::mem::swap(t, &mut fresh);
-        // Keep live frames so RAII drops of pre-reset spans stay sound,
-        // but zero their partial counts.
-        t.stack = fresh.stack;
-        t.next_id = fresh.next_id;
-        for f in &mut t.stack {
+    });
+    // Keep live frames so RAII drops of pre-reset spans stay sound, but
+    // zero their partial counts.
+    with_stack(|stack| {
+        for f in stack.iter_mut() {
             f.counters = TraceCounters::default();
             f.start_tick = 0;
         }
@@ -527,10 +575,10 @@ pub fn ticks() -> u64 {
     with_tracer(|t| t.ticks)
 }
 
-/// Number of currently open spans.
+/// Number of currently open spans, across all threads.
 #[must_use]
 pub fn open_spans() -> usize {
-    with_tracer(|t| t.stack.len())
+    with_tracer(|t| usize::try_from(t.open_spans).unwrap_or(usize::MAX))
 }
 
 /// Replace the bound on the closed-span event ring (0 disables event
@@ -569,12 +617,12 @@ pub struct TraceReport {
     pub events: Vec<SpanEvent>,
 }
 
-/// Take a [`TraceReport`] snapshot of the thread's tracer.
+/// Take a [`TraceReport`] snapshot of the global registry.
 #[must_use]
 pub fn report() -> TraceReport {
     with_tracer(|t| TraceReport {
         ticks: t.ticks,
-        open_spans: u64::try_from(t.stack.len()).unwrap_or(u64::MAX),
+        open_spans: t.open_spans,
         out_of_order_closes: t.out_of_order_closes,
         dropped_events: t.dropped_events,
         attributed: t.attributed,
@@ -736,6 +784,18 @@ fn to_f64(v: u64) -> f64 {
 mod tests {
     use super::*;
 
+    /// The registry is global now, so tests that reset and then assert on
+    /// its tallies must not interleave. Each test holds this lock for its
+    /// whole body (poison-recovering: a failed test must not wedge the
+    /// rest of the suite).
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     fn io(reads: u64, writes: u64) -> TraceCounters {
         TraceCounters {
             reads,
@@ -746,6 +806,7 @@ mod tests {
 
     #[test]
     fn unattributed_without_span() {
+        let _guard = serial();
         reset();
         record(Counter::BlockRead, 2);
         assert_eq!(unattributed(), io(2, 0));
@@ -754,6 +815,7 @@ mod tests {
 
     #[test]
     fn innermost_span_owns_events_and_folds_into_parent() {
+        let _guard = serial();
         reset();
         {
             let _op = OpSpan::op("W-BOX", "insert");
@@ -783,6 +845,7 @@ mod tests {
 
     #[test]
     fn identity_attributed_plus_unattributed() {
+        let _guard = serial();
         reset();
         record(Counter::Alloc, 1);
         {
@@ -800,6 +863,7 @@ mod tests {
 
     #[test]
     fn ring_buffer_is_bounded() {
+        let _guard = serial();
         reset();
         set_event_capacity(4);
         for _ in 0..10 {
@@ -823,6 +887,7 @@ mod tests {
 
     #[test]
     fn json_is_stable_and_wellformed() {
+        let _guard = serial();
         reset();
         {
             let _op = OpSpan::op("W-BOX", "lookup");
@@ -840,6 +905,7 @@ mod tests {
 
     #[test]
     fn out_of_order_close_is_tolerated() {
+        let _guard = serial();
         reset();
         let a = OpSpan::op("W-BOX", "a");
         let b = OpSpan::op("W-BOX", "b");

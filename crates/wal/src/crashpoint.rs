@@ -14,8 +14,8 @@
 //! (a prefix of the block persists with a stale checksum) or is lost
 //! cleanly, so a sweep over all ticks exercises both failure shapes.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use boxes_pager::codec;
 // One mixer family across crash clocks and fault plans: crash points and
@@ -24,45 +24,63 @@ use boxes_pager::codec;
 use boxes_pager::{splitmix64, BlockId, FaultInjector, WriteFault};
 
 /// Counts crash points and kills the write path at an armed tick.
+///
+/// Tick and target counters are atomics (`SeqCst` — crash sweeps care about
+/// determinism, not throughput), so clocks can be shared across threads
+/// behind an [`Arc`] like every other storage-core handle.
 pub struct CrashClock {
     seed: u64,
-    ticks: Cell<u64>,
-    target: Cell<Option<u64>>,
+    ticks: AtomicU64,
+    /// Armed crash tick; `u64::MAX` means disarmed (ticks never get there).
+    target: AtomicU64,
 }
+
+/// Sentinel for a disarmed [`CrashClock`] target.
+const DISARMED: u64 = u64::MAX;
 
 impl CrashClock {
     /// New clock; disarmed (counting only) until [`CrashClock::arm`].
-    pub fn new(seed: u64) -> Rc<Self> {
-        Rc::new(Self {
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Self {
             seed,
-            ticks: Cell::new(0),
-            target: Cell::new(None),
+            ticks: AtomicU64::new(0),
+            target: AtomicU64::new(DISARMED),
         })
     }
 
     /// Crash at the `target`-th crash point from now (1-based, counting
     /// continues from the current tick).
     pub fn arm(&self, target: u64) {
-        self.target.set(Some(self.ticks.get() + target));
+        self.target
+            .store(self.ticks.load(Ordering::SeqCst) + target, Ordering::SeqCst);
     }
 
     /// Stop crashing; the clock keeps counting.
     pub fn disarm(&self) {
-        self.target.set(None);
+        self.target.store(DISARMED, Ordering::SeqCst);
     }
 
     /// Crash points seen so far. Run a workload once disarmed to learn the
     /// sweep bound, then re-run armed at each tick `1..=ticks()`.
     #[must_use]
     pub fn ticks(&self) -> u64 {
-        self.ticks.get()
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Count one crash point, returning its 1-based number.
+    fn advance(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Whether the clock is armed to crash at crash point `now`.
+    fn armed_at(&self, now: u64) -> bool {
+        self.target.load(Ordering::SeqCst) == now
     }
 
     /// Count one crash point; raises the crash panic when armed for it.
     pub fn tick(&self) {
-        let now = self.ticks.get() + 1;
-        self.ticks.set(now);
-        if self.target.get() == Some(now) {
+        let now = self.advance();
+        if self.armed_at(now) {
             std::panic::panic_any(boxes_pager::CrashSignal);
         }
     }
@@ -77,22 +95,21 @@ impl CrashClock {
 /// applied block write is one crash point, and an armed hit tears the block
 /// (odd hash) or drops the write cleanly (even hash).
 pub struct ClockFault {
-    clock: Rc<CrashClock>,
+    clock: Arc<CrashClock>,
     block_size: usize,
 }
 
 impl ClockFault {
     /// Wrap `clock` for a pager with the given block size.
-    pub fn new(clock: Rc<CrashClock>, block_size: usize) -> Rc<Self> {
-        Rc::new(Self { clock, block_size })
+    pub fn new(clock: Arc<CrashClock>, block_size: usize) -> Arc<Self> {
+        Arc::new(Self { clock, block_size })
     }
 }
 
 impl FaultInjector for ClockFault {
     fn on_block_write(&self, _id: BlockId) -> WriteFault {
-        let now = self.clock.ticks.get() + 1;
-        self.clock.ticks.set(now);
-        if self.clock.target.get() != Some(now) {
+        let now = self.clock.advance();
+        if !self.clock.armed_at(now) {
             return WriteFault::Proceed;
         }
         let hash = self.clock.mix(now);

@@ -37,11 +37,11 @@ mod tests {
     use super::*;
     use crate::crashpoint::{ClockFault, CrashClock};
     use boxes_pager::{BlockId, Pager, PagerConfig, SharedPager};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     const BS: usize = 64;
 
-    fn journaled_pager(config: WalConfig) -> (SharedPager, Rc<Wal>) {
+    fn journaled_pager(config: WalConfig) -> (SharedPager, Arc<Wal>) {
         let pager = Pager::new(PagerConfig::with_block_size(BS));
         let wal = Wal::new(BS, config);
         pager.attach_journal(wal.clone());

@@ -15,12 +15,11 @@
 //! checkpoint record carrying the full meta fold (simulating an atomic log
 //! rotation), which bounds recovery time.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use boxes_pager::codec;
-use boxes_pager::{BlockId, Journal, TxnFrame, TxnRecord};
+use boxes_pager::{lock_unpoisoned, BlockId, Journal, TxnFrame, TxnRecord};
 
 use crate::crashpoint::CrashClock;
 use crate::frame::{self, Record, RecordKind};
@@ -74,13 +73,13 @@ struct WalInner {
 pub struct Wal {
     block_size: usize,
     config: WalConfig,
-    clock: Option<Rc<CrashClock>>,
-    inner: RefCell<WalInner>,
+    clock: Option<Arc<CrashClock>>,
+    inner: Mutex<WalInner>,
 }
 
 impl Wal {
     /// New empty log for a pager with the given block size.
-    pub fn new(block_size: usize, config: WalConfig) -> Rc<Self> {
+    pub fn new(block_size: usize, config: WalConfig) -> Arc<Self> {
         Self::build(block_size, config, None)
     }
 
@@ -88,18 +87,18 @@ impl Wal {
     pub fn with_crash_clock(
         block_size: usize,
         config: WalConfig,
-        clock: Rc<CrashClock>,
-    ) -> Rc<Self> {
+        clock: Arc<CrashClock>,
+    ) -> Arc<Self> {
         Self::build(block_size, config, Some(clock))
     }
 
-    fn build(block_size: usize, config: WalConfig, clock: Option<Rc<CrashClock>>) -> Rc<Self> {
+    fn build(block_size: usize, config: WalConfig, clock: Option<Arc<CrashClock>>) -> Arc<Self> {
         assert!(config.sync_every >= 1, "sync_every must be at least 1");
-        Rc::new(Self {
+        Arc::new(Self {
             block_size,
             config,
             clock,
-            inner: RefCell::new(WalInner {
+            inner: Mutex::new(WalInner {
                 durable: Vec::new(),
                 pending: Vec::new(),
                 next_lsn: 1,
@@ -116,19 +115,19 @@ impl Wal {
     /// [`recover`](crate::recover).
     #[must_use]
     pub fn durable_bytes(&self) -> Vec<u8> {
-        self.inner.borrow().durable.clone()
+        lock_unpoisoned(&self.inner).durable.clone()
     }
 
     /// Current durable log length in bytes.
     #[must_use]
     pub fn durable_len(&self) -> usize {
-        self.inner.borrow().durable.len()
+        lock_unpoisoned(&self.inner).durable.len()
     }
 
     /// Snapshot of the activity counters.
     #[must_use]
     pub fn stats(&self) -> WalStats {
-        self.inner.borrow().stats
+        lock_unpoisoned(&self.inner).stats
     }
 
     fn tick(&self) {
@@ -144,7 +143,7 @@ impl Journal for Wal {
         // crashing here loses the operation entirely, which is consistent
         // because the pager has not applied anything either).
         self.tick();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock_unpoisoned(&self.inner);
         // Meta dedup: only log blobs whose value changed since the last
         // record that carried them; the fold keeps the authoritative merge
         // for checkpoints.
@@ -180,7 +179,7 @@ impl Journal for Wal {
         // Crash point: the durability barrier itself — crashing here loses
         // the whole pending batch, again in step with the pager.
         self.tick();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock_unpoisoned(&self.inner);
         let pending = std::mem::take(&mut inner.pending);
         inner.durable.extend_from_slice(&pending);
         inner.stats.syncs += 1;
@@ -194,7 +193,7 @@ impl Journal for Wal {
             return;
         }
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock_unpoisoned(&self.inner);
             inner.batches_since_ckpt += 1;
             if inner.batches_since_ckpt < self.config.checkpoint_every {
                 return;
@@ -203,7 +202,7 @@ impl Journal for Wal {
         // Crash point: checkpoint write + rotation. Crashing before the
         // rotation below leaves the old (longer but equivalent) log.
         self.tick();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock_unpoisoned(&self.inner);
         // The checkpoint must carry the full image set the old log folded
         // to, or rotation would destroy the read-repair source for every
         // block written before it. A fold failure means our own durable
@@ -244,7 +243,7 @@ impl Journal for Wal {
         // unsynced images (the pager's overlay serves those), so the
         // durable log — checkpoint images plus redo replay — is exactly
         // the right reconstruction source.
-        let inner = self.inner.borrow();
+        let inner = lock_unpoisoned(&self.inner);
         let image = crate::repair::latest_image(&inner.durable, self.block_size, id);
         if image.is_some() {
             boxes_trace::record(boxes_trace::Counter::WalReplay, 1);

@@ -24,7 +24,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use boxes_audit::Auditable;
 use boxes_core::bbox::BBoxConfig;
@@ -199,7 +199,7 @@ struct Setup<'a> {
 }
 
 /// Journaled pager + attached fault plan, retry budget raised to `BUDGET`.
-fn chaos_pager(setup: &Setup<'_>) -> (SharedPager, Rc<FaultPlan>) {
+fn chaos_pager(setup: &Setup<'_>) -> (SharedPager, Arc<FaultPlan>) {
     let pager = Pager::new(PagerConfig::with_block_size(setup.block_size));
     let wal = Wal::new(setup.block_size, setup.wal);
     pager.attach_journal(wal);
