@@ -96,6 +96,10 @@ pub enum ViolationKind {
     /// The §6 log's timestamps are not strictly increasing (FIFO order
     /// broken).
     LogOrder,
+    /// A pin count survived to audit time: a buffer-pool frame is still
+    /// pinned against eviction, or a snapshot epoch is still pinned against
+    /// version reclamation, after every session should have closed.
+    PinLeak,
 }
 
 impl fmt::Display for ViolationKind {

@@ -105,6 +105,27 @@ pub struct JsonWorkload<'a> {
     pub results: &'a [RunResult],
 }
 
+/// One multithreaded snapshot-lookup measurement for the
+/// `concurrent_lookup` section of the trajectory. Throughput is
+/// logical-I/O-normalized (no wall clock): the aggregate lookups the run
+/// completed per unit of its *critical-path* I/O, which is the busiest
+/// single session — concurrent readers that share no I/O scale it
+/// linearly, a serialized design would not.
+pub struct ConcurrentLeg {
+    /// Scheme name ("W-BOX", "B-BOX", …).
+    pub scheme: String,
+    /// Concurrent reader sessions (threads).
+    pub threads: usize,
+    /// Lookups each session performed.
+    pub lookups_per_thread: u64,
+    /// Charged I/O of the busiest session (the critical path).
+    pub max_session_io: u64,
+    /// Charged I/O summed over every session.
+    pub total_io: u64,
+    /// `threads * lookups_per_thread / max_session_io`.
+    pub throughput_per_io: f64,
+}
+
 fn push_f(out: &mut String, v: f64) {
     // Fixed four-decimal formatting keeps the document byte-stable across
     // runs and platforms for the integer-derived means used here.
@@ -117,8 +138,19 @@ fn push_f(out: &mut String, v: f64) {
 /// deliberately excluded — the document must be deterministic for a fixed
 /// seed and workload so CI can diff trajectories across commits.
 pub fn bench_json(block_size: usize, workloads: &[JsonWorkload]) -> String {
+    bench_json_full(block_size, workloads, &[])
+}
+
+/// [`bench_json`] plus the `concurrent_lookup` section: per
+/// (scheme, threads) rows of the logical-I/O-normalized multithreaded
+/// snapshot-lookup throughput (schema `boxes-bench/2`).
+pub fn bench_json_full(
+    block_size: usize,
+    workloads: &[JsonWorkload],
+    concurrent: &[ConcurrentLeg],
+) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\"schema\":\"boxes-bench/1\",\"block_size\":");
+    out.push_str("{\"schema\":\"boxes-bench/2\",\"block_size\":");
     out.push_str(&block_size.to_string());
     out.push_str(",\"workloads\":[");
     for (wi, w) in workloads.iter().enumerate() {
@@ -167,6 +199,25 @@ pub fn bench_json(block_size: usize, workloads: &[JsonWorkload]) -> String {
             out.push_str("]}}");
         }
         out.push_str("]}");
+    }
+    out.push_str("],\"concurrent_lookup\":[");
+    for (ci, c) in concurrent.iter().enumerate() {
+        if ci > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"scheme\":\"");
+        out.push_str(&c.scheme);
+        out.push_str("\",\"threads\":");
+        out.push_str(&c.threads.to_string());
+        out.push_str(",\"lookups_per_thread\":");
+        out.push_str(&c.lookups_per_thread.to_string());
+        out.push_str(",\"max_session_io\":");
+        out.push_str(&c.max_session_io.to_string());
+        out.push_str(",\"total_io\":");
+        out.push_str(&c.total_io.to_string());
+        out.push_str(",\"throughput_per_io\":");
+        push_f(&mut out, c.throughput_per_io);
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -239,9 +290,38 @@ mod tests {
         }];
         let a = bench_json(8192, &w);
         assert_eq!(a, bench_json(8192, &w));
-        assert!(a.contains("\"schema\":\"boxes-bench/1\""));
+        assert!(a.contains("\"schema\":\"boxes-bench/2\""));
         assert!(a.contains("\"p95_io\":40"));
+        assert!(a.contains("\"concurrent_lookup\":[]"));
         assert!(!a.contains("elapsed"), "wall clock must not leak: {a}");
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn bench_json_full_emits_concurrent_rows() {
+        let legs = [
+            ConcurrentLeg {
+                scheme: "W-BOX".into(),
+                threads: 1,
+                lookups_per_thread: 64,
+                max_session_io: 128,
+                total_io: 128,
+                throughput_per_io: 0.5,
+            },
+            ConcurrentLeg {
+                scheme: "W-BOX".into(),
+                threads: 4,
+                lookups_per_thread: 64,
+                max_session_io: 128,
+                total_io: 512,
+                throughput_per_io: 2.0,
+            },
+        ];
+        let a = bench_json_full(8192, &[], &legs);
+        assert_eq!(a, bench_json_full(8192, &[], &legs));
+        assert!(a.contains("\"threads\":4"));
+        assert!(a.contains("\"max_session_io\":128"));
+        assert!(a.contains("\"throughput_per_io\":2.0000"));
         assert_eq!(a.matches('{').count(), a.matches('}').count());
     }
 }

@@ -62,12 +62,15 @@ mod faults;
 pub mod labeler;
 /// The `LabelingScheme`/`OrdinalScheme` trait surface and adapters.
 pub mod scheme;
+/// Read-only label-query views (`LabelView`) over any scheme.
+pub mod view;
 
 pub use cached::{CachedBBox, CachedOrdinal, CachedWBox};
 pub use driver::DocumentDriver;
 pub use durable::{reopen_bbox, reopen_lidf, reopen_naive, reopen_wbox, DurableEnv};
 pub use labeler::ElementLabeler;
 pub use scheme::{BBoxScheme, LabelingScheme, NaiveScheme, OrdinalScheme, WBoxScheme};
+pub use view::LabelView;
 
 // Re-export the whole workspace under one roof.
 pub use boxes_bbox as bbox;

@@ -183,6 +183,17 @@ pub trait Journal: Send + Sync {
     fn repair_image(&self, _id: BlockId) -> Option<Box<[u8]>> {
         None
     }
+
+    /// Force a durability barrier *now*: promote every pending (committed
+    /// but unsynced) record to durable storage as if the group-commit
+    /// window had closed. Returns `true` when the whole log tail is
+    /// durable afterwards. The pager calls this from
+    /// [`Pager::publish_barrier`] before applying the overlay, so the
+    /// log-first protocol is preserved; the default is `true` because a
+    /// journal without a volatile tail is always at a barrier.
+    fn barrier(&self) -> bool {
+        true
+    }
 }
 
 /// Decision returned by a [`FaultInjector`] for one backend block write
@@ -305,6 +316,14 @@ pub enum PagerError {
     },
     /// The pager is degraded (read-only); the mutation was rejected.
     Degraded(DegradedReason),
+    /// The operation needed to evict or release a pinned buffer-pool
+    /// frame, which is impossible by construction: either the pool is full
+    /// of pinned frames and an insert could not make room, or a pinned
+    /// block was freed.
+    Pinned {
+        /// The block whose operation collided with a pin.
+        block: BlockId,
+    },
 }
 
 impl std::fmt::Display for PagerError {
@@ -318,6 +337,12 @@ impl std::fmt::Display for PagerError {
             }
             PagerError::Degraded(reason) => {
                 write!(f, "pager is degraded (read-only): {reason}")
+            }
+            PagerError::Pinned { block } => {
+                write!(
+                    f,
+                    "{block:?} is pinned; the frame cannot be evicted or freed"
+                )
             }
         }
     }
@@ -425,6 +450,59 @@ struct Overlay {
     freed: Vec<BlockId>,
 }
 
+/// One copy-on-write frozen block version: the committed image as it stood
+/// through epoch `valid_to`, preserved because a pinned snapshot may still
+/// read it. Versions of a block are kept in ascending `valid_to` order; a
+/// snapshot pinned at epoch `e` reads the first version with
+/// `valid_to >= e`, falling back to the live backend when none exists.
+struct Frozen {
+    valid_to: u64,
+    data: Box<[u8]>,
+}
+
+/// Snapshot-isolation state: the published epoch counter, per-epoch pin
+/// refcounts, frozen block versions, and the published/pending split of
+/// structure-state meta blobs.
+///
+/// The epoch advances exactly at *group-commit boundaries* — when a sync
+/// barrier has made the log tail durable **and** every covered frame has
+/// been applied to the backend — so each published epoch is a consistent,
+/// reopenable database state. Meta blobs from commits whose frames are
+/// still deferred (group commit) or parked (degraded apply) stay in
+/// `pending_metas` until the frames land; snapshots only ever see
+/// `published_metas`, which always describes the backend-plus-frozen-
+/// versions state at their pin epoch.
+#[derive(Default)]
+struct SnapState {
+    /// Number of published group-commit boundaries; pins are minted at
+    /// this value.
+    epoch: u64,
+    /// Open-snapshot refcounts per pinned epoch.
+    pins: std::collections::BTreeMap<u64, u64>,
+    /// Frozen block versions, ascending `valid_to` per block.
+    versions: std::collections::BTreeMap<u32, Vec<Frozen>>,
+    /// Meta blobs of the last published epoch (shared with snapshots).
+    published_metas: Arc<std::collections::BTreeMap<String, Vec<u8>>>,
+    /// Meta blobs staged by commits whose frames are not yet applied.
+    pending_metas: std::collections::BTreeMap<String, Vec<u8>>,
+}
+
+/// Read-only tether of a snapshot-view pager to its base pager: the pinned
+/// epoch plus the base handle. Lives *outside* the view's mutex so a view
+/// read never holds its own lock while taking the base's (the two are the
+/// same lock identity to the BX015/BX017 lock-order analysis). Dropping
+/// the view drops the tether, which releases the epoch pin.
+struct SnapshotRef {
+    base: SharedPager,
+    epoch: u64,
+}
+
+impl Drop for SnapshotRef {
+    fn drop(&mut self) {
+        self.base.unpin_epoch(self.epoch);
+    }
+}
+
 /// A crash-consistent snapshot of the backend: what survives process death.
 /// Blocks carry their *stored* checksums, so recovery can classify torn
 /// pages instead of panicking on them.
@@ -466,6 +544,7 @@ struct PagerInner {
     retry: RetryPolicy,
     degraded: Option<DegradedReason>,
     degraded_entries: u64,
+    snap: SnapState,
 }
 
 /// One in-memory block plus its page checksum. The checksum is recomputed on
@@ -647,6 +726,11 @@ impl Backend {
 pub struct Pager {
     block_size: usize,
     inner: Mutex<PagerInner>,
+    /// `Some` makes this pager a read-only *snapshot view* onto another
+    /// pager at a pinned epoch. Deliberately outside `inner`: view reads
+    /// charge their own stats under their own lock, release it, and only
+    /// then take the base pager's lock — sequentially, never nested.
+    view: Option<SnapshotRef>,
 }
 
 /// Shared handle to a [`Pager`]. All data structures in this workspace take
@@ -696,7 +780,9 @@ impl Pager {
                 retry: RetryPolicy::default(),
                 degraded: None,
                 degraded_entries: 0,
+                snap: SnapState::default(),
             }),
+            view: None,
         })
     }
 
@@ -723,7 +809,9 @@ impl Pager {
                 retry: RetryPolicy::default(),
                 degraded: None,
                 degraded_entries: 0,
+                snap: SnapState::default(),
             }),
+            view: None,
         })
     }
 
@@ -760,6 +848,7 @@ impl Pager {
     /// guarantee is defined against the paper's pool-off setup) or if a
     /// transaction is already open.
     pub fn attach_journal(&self, journal: Arc<dyn Journal>) {
+        assert!(self.view.is_none(), "snapshot views are read-only");
         let mut inner = self.lock();
         assert_eq!(
             inner.pool.capacity(),
@@ -785,6 +874,7 @@ impl Pager {
     /// scopes; only the outermost commits. Without an attached journal this
     /// is pure bookkeeping and changes nothing about pager behavior.
     pub fn txn(self: &Arc<Self>) -> TxnScope {
+        assert!(self.view.is_none(), "snapshot views are read-only");
         self.lock().txn.depth += 1;
         TxnScope {
             pager: Arc::clone(self),
@@ -851,7 +941,19 @@ impl Pager {
                     frames.insert(frame.block.0, frame.after);
                 }
                 freed.extend(record.freed);
-                Self::apply_frames(&mut inner, frames, freed).is_ok()
+                let ok = Self::apply_frames(&mut inner, frames, freed, self.block_size).is_ok();
+                if ok {
+                    // Group-commit boundary: log durable, frames applied —
+                    // publish a fresh snapshot epoch carrying every staged
+                    // meta blob plus this record's.
+                    Self::publish_epoch(&mut inner, record.metas);
+                } else {
+                    // The apply parked frames in the overlay (degraded);
+                    // the metas stay pending and publish with the frames
+                    // when try_resume re-applies them.
+                    Self::stage_pending_metas(&mut inner, record.metas);
+                }
+                ok
             } else {
                 for frame in record.frames {
                     inner.overlay.frames.insert(frame.block.0, frame.after);
@@ -860,6 +962,7 @@ impl Pager {
                     inner.overlay.frames.remove(&id.0);
                     inner.overlay.freed.push(id);
                 }
+                Self::stage_pending_metas(&mut inner, record.metas);
                 false
             }
         };
@@ -920,9 +1023,11 @@ impl Pager {
         inner: &mut PagerInner,
         mut frames: std::collections::BTreeMap<u32, Box<[u8]>>,
         mut freed: Vec<BlockId>,
+        block_size: usize,
     ) -> Result<(), DegradedReason> {
         while let Some((raw, data)) = frames.pop_first() {
             let id = BlockId(raw);
+            Self::freeze_for_pins(inner, id, block_size);
             if let Err((data, reason)) = Self::write_block_checked(inner, id, data) {
                 frames.insert(raw, data);
                 inner.overlay.frames.append(&mut frames);
@@ -932,10 +1037,88 @@ impl Pager {
             }
         }
         for id in freed {
+            Self::freeze_for_pins(inner, id, block_size);
             inner.backend.deallocate(id);
             inner.free.push(id.0);
         }
         Ok(())
+    }
+
+    /// Copy-on-write hook for snapshot isolation: before a block is
+    /// overwritten or deallocated, freeze its current backend image for any
+    /// pinned snapshot epoch that could still read it. No-op when no epoch
+    /// is pinned, when the newest frozen version already covers the current
+    /// epoch, when the block was never materialized, or when the on-media
+    /// image fails its checksum (a corrupt image is not worth preserving —
+    /// snapshot reads then fall back to the repaired backend path).
+    fn freeze_for_pins(inner: &mut PagerInner, id: BlockId, block_size: usize) {
+        if inner.snap.pins.is_empty() {
+            return;
+        }
+        let epoch = inner.snap.epoch;
+        if inner
+            .snap
+            .versions
+            .get(&id.0)
+            .and_then(|v| v.last())
+            .is_some_and(|f| f.valid_to >= epoch)
+        {
+            return;
+        }
+        let Some((data, crc)) = inner.backend.raw(id, block_size) else {
+            return;
+        };
+        if codec::crc32(&data) != crc {
+            return;
+        }
+        inner.snap.versions.entry(id.0).or_default().push(Frozen {
+            valid_to: epoch,
+            data,
+        });
+    }
+
+    /// Advance the snapshot epoch at a group-commit boundary: the journal is
+    /// durable and every frame of the committed prefix has been applied (or
+    /// frozen for pinned readers first), so new snapshots may now observe
+    /// it. Publishes staged pending metas plus `metas` into the immutable
+    /// published-meta map that new snapshots clone.
+    fn publish_epoch(inner: &mut PagerInner, metas: Vec<(String, Vec<u8>)>) {
+        let mut map = (*inner.snap.published_metas).clone();
+        for (name, bytes) in std::mem::take(&mut inner.snap.pending_metas) {
+            map.insert(name, bytes);
+        }
+        for (name, bytes) in metas {
+            map.insert(name, bytes);
+        }
+        inner.snap.published_metas = Arc::new(map);
+        inner.snap.epoch += 1;
+    }
+
+    /// Stage meta blobs from a commit whose frames have not all reached the
+    /// backend (group-commit deferral or a degraded apply). They publish
+    /// together with the frames at the next boundary, keeping snapshot metas
+    /// and snapshot frames atomic.
+    fn stage_pending_metas(inner: &mut PagerInner, metas: Vec<(String, Vec<u8>)>) {
+        for (name, bytes) in metas {
+            inner.snap.pending_metas.insert(name, bytes);
+        }
+    }
+
+    /// Drop frozen versions no pinned epoch can still read. Version `i` of a
+    /// block covers epochs `(versions[i-1].valid_to, versions[i].valid_to]`
+    /// (the first covers from 0), so a version is live iff some pin falls in
+    /// its coverage window. Runs after every unpin.
+    fn reclaim_versions(inner: &mut PagerInner) {
+        let SnapState { pins, versions, .. } = &mut inner.snap;
+        versions.retain(|_, versions| {
+            let mut valid_from = 0u64;
+            versions.retain(|v| {
+                let needed = pins.range(valid_from..=v.valid_to).next().is_some();
+                valid_from = v.valid_to + 1;
+                needed
+            });
+            !versions.is_empty()
+        });
     }
 
     /// Transition to read-only service. Idempotent: the first reason wins
@@ -1124,7 +1307,9 @@ impl Pager {
                 retry: RetryPolicy::default(),
                 degraded: None,
                 degraded_entries: 0,
+                snap: SnapState::default(),
             }),
+            view: None,
         }))
     }
 
@@ -1166,6 +1351,7 @@ impl Pager {
     /// every mutation must belong to a recoverable operation. While degraded
     /// (read-only), panics with a typed [`PagerError::Degraded`] payload.
     pub fn alloc(&self) -> BlockId {
+        assert!(self.view.is_none(), "snapshot views are read-only");
         let mut inner = self.lock();
         if let Some(reason) = inner.degraded {
             std::panic::panic_any(PagerError::Degraded(reason));
@@ -1217,9 +1403,15 @@ impl Pager {
     /// journal is attached and no [`TxnScope`] is open. While degraded
     /// (read-only), panics with a typed [`PagerError::Degraded`] payload.
     pub fn free(&self, id: BlockId) {
+        assert!(self.view.is_none(), "snapshot views are read-only");
         let mut inner = self.lock();
         if let Some(reason) = inner.degraded {
             std::panic::panic_any(PagerError::Degraded(reason));
+        }
+        if inner.pool.is_pinned(id) {
+            // A pinned frame is promised to stay readable; freeing the block
+            // under it would break that promise, so it is a typed error.
+            std::panic::panic_any(PagerError::Pinned { block: id });
         }
         inner.stats.frees += 1;
         trace_record(TraceCounter::Free, 1);
@@ -1244,6 +1436,7 @@ impl Pager {
             inner.backend.is_allocated(id),
             "double free or out-of-range free of {id:?}"
         );
+        Self::freeze_for_pins(&mut inner, id, self.block_size);
         inner.backend.deallocate(id);
         inner.free.push(id.0);
     }
@@ -1277,6 +1470,13 @@ impl Pager {
     }
 
     fn read_impl(&self, id: BlockId) -> Result<Box<[u8]>, PagerError> {
+        if let Some(view) = &self.view {
+            // Charge this view's own stats first (own lock, fully released),
+            // then consult the base pager — sequential acquisitions, never
+            // nested, so the shared lock identity stays acyclic.
+            self.charge_view_read();
+            return view.base.snapshot_read_raw(id, view.epoch);
+        }
         let mut inner = self.lock();
         if inner.journal.is_some() {
             inner.stats.reads += 1;
@@ -1300,7 +1500,12 @@ impl Pager {
         let data = Self::read_block_checked(&mut inner, id, self.block_size, true)?;
         inner.stats.reads += 1;
         trace_record(TraceCounter::BlockRead, 1);
-        if let Some((evicted, dirty)) = inner.pool.insert_clean(id, data.clone()) {
+        if let Some((evicted, dirty)) = inner
+            .pool
+            .insert_clean(id, data.clone())
+            .map_err(|_| PagerError::Pinned { block: id })?
+        {
+            Self::freeze_for_pins(&mut inner, evicted, self.block_size);
             Self::write_back(&mut inner, evicted, dirty)?;
         }
         Ok(data)
@@ -1333,6 +1538,7 @@ impl Pager {
     }
 
     fn write_impl(&self, id: BlockId, data: &[u8]) -> Result<(), PagerError> {
+        assert!(self.view.is_none(), "snapshot views are read-only");
         assert_eq!(data.len(), self.block_size, "write of wrong-sized block");
         let mut inner = self.lock();
         if let Some(reason) = inner.degraded {
@@ -1371,6 +1577,7 @@ impl Pager {
         if inner.pool.capacity() == 0 {
             inner.stats.writes += 1;
             trace_record(TraceCounter::BlockWrite, 1);
+            Self::freeze_for_pins(&mut inner, id, self.block_size);
             let boxed = data.to_vec().into_boxed_slice();
             if let Err((_, reason)) = Self::write_block_checked(&mut inner, id, boxed) {
                 Self::enter_degraded(&mut inner, reason);
@@ -1381,7 +1588,9 @@ impl Pager {
         if let Some((evicted, dirty)) = inner
             .pool
             .insert_dirty(id, data.to_vec().into_boxed_slice())
+            .map_err(|_| PagerError::Pinned { block: id })?
         {
+            Self::freeze_for_pins(&mut inner, evicted, self.block_size);
             Self::write_back(&mut inner, evicted, dirty)?;
         }
         Ok(())
@@ -1455,10 +1664,15 @@ impl Pager {
                 return Ok(());
             };
             let overlay = std::mem::take(&mut inner.overlay);
-            if Self::apply_frames(&mut inner, overlay.frames, overlay.freed).is_err() {
+            if Self::apply_frames(&mut inner, overlay.frames, overlay.freed, self.block_size)
+                .is_err()
+            {
                 return Err(PagerError::Degraded(reason));
             }
             inner.degraded = None;
+            // The parked prefix is now fully on the backend: publish it (and
+            // its staged metas) as a fresh snapshot epoch.
+            Self::publish_epoch(&mut inner, Vec::new());
             inner.journal.clone()
         };
         if let Some(journal) = journal {
@@ -1514,12 +1728,206 @@ impl Pager {
     /// Under a journal, blocks freed by the open scope or the group-commit
     /// overlay already count as deallocated.
     pub fn is_allocated(&self, id: BlockId) -> bool {
-        !id.is_invalid() && Self::txn_is_allocated(&self.lock(), id)
+        if id.is_invalid() {
+            return false;
+        }
+        if let Some(view) = &self.view {
+            return view.base.snapshot_is_allocated(id, view.epoch);
+        }
+        Self::txn_is_allocated(&self.lock(), id)
     }
 
     /// Total bytes currently allocated.
     pub fn allocated_bytes(&self) -> usize {
         self.allocated_blocks() * self.block_size
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot isolation (`boxes-session` substrate)
+    // ------------------------------------------------------------------
+
+    /// The current published snapshot epoch. Starts at 0 for a fresh pager
+    /// and advances by one at every group-commit boundary ([`Pager::end_txn`]
+    /// with a synced, fully applied record), successful
+    /// [`Pager::try_resume`], and dirty [`Pager::publish_barrier`].
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.lock().snap.epoch
+    }
+
+    /// For a snapshot view, the epoch it is pinned to; `None` on a base
+    /// pager.
+    #[must_use]
+    pub fn snapshot_epoch(&self) -> Option<u64> {
+        self.view.as_ref().map(|v| v.epoch)
+    }
+
+    /// Pin the current published epoch against version reclamation and
+    /// return it together with the published meta map (the structure-state
+    /// blobs as of that epoch). Each pin must be balanced by one
+    /// [`Pager::unpin_epoch`]; [`SnapshotRef`] (and thus every snapshot
+    /// view) does this on drop.
+    #[must_use]
+    pub fn pin_epoch(&self) -> (u64, Arc<std::collections::BTreeMap<String, Vec<u8>>>) {
+        let mut inner = self.lock();
+        let epoch = inner.snap.epoch;
+        *inner.snap.pins.entry(epoch).or_insert(0) += 1;
+        (epoch, Arc::clone(&inner.snap.published_metas))
+    }
+
+    /// Release one pin on `epoch` and reclaim any frozen block versions no
+    /// remaining pin can read. Unbalanced unpins are tolerated (no-op).
+    pub fn unpin_epoch(&self, epoch: u64) {
+        let mut inner = self.lock();
+        if let Some(count) = inner.snap.pins.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                inner.snap.pins.remove(&epoch);
+            }
+            Self::reclaim_versions(&mut inner);
+        }
+    }
+
+    /// Read block `id` as of pinned snapshot `epoch`: the oldest frozen
+    /// version still valid at that epoch wins, else the backend image (which
+    /// is correct whenever no later write has touched the block). Charges
+    /// nothing here — the snapshot *view* charges its own stats before
+    /// calling. Never consults the fault plan: snapshot reads must not shift
+    /// the deterministic fault-attempt counters of the main session.
+    fn snapshot_read_raw(&self, id: BlockId, epoch: u64) -> Result<Box<[u8]>, PagerError> {
+        let mut inner = self.lock();
+        if let Some(versions) = inner.snap.versions.get(&id.0) {
+            if let Some(frozen) = versions.iter().find(|f| f.valid_to >= epoch) {
+                return Ok(frozen.data.clone());
+            }
+        }
+        Self::read_block_checked(&mut inner, id, self.block_size, false)
+    }
+
+    /// Whether `id` is readable as of pinned snapshot `epoch`: a covering
+    /// frozen version exists, or the block is currently allocated (a block
+    /// neither frozen nor allocated was freed with no pinned reader needing
+    /// it). Used by snapshot views to answer [`Pager::is_allocated`].
+    fn snapshot_is_allocated(&self, id: BlockId, epoch: u64) -> bool {
+        let inner = self.lock();
+        if inner
+            .snap
+            .versions
+            .get(&id.0)
+            .is_some_and(|versions| versions.iter().any(|f| f.valid_to >= epoch))
+        {
+            return true;
+        }
+        inner.backend.is_allocated(id)
+    }
+
+    /// Open a read-only *snapshot view*: a second [`Pager`] whose reads see
+    /// the committed state as of the current published epoch, immune to
+    /// concurrent writer progress. Returns the view and the published meta
+    /// map at that epoch (for reopening structures over the view). The view
+    /// has its own [`IoStats`] — per-session I/O attribution — and forwards
+    /// block reads to this pager's frozen versions first, backend second.
+    /// Dropping the view unpins the epoch.
+    ///
+    /// # Panics
+    /// Panics when called on a pager that is itself a snapshot view.
+    pub fn snapshot_view(
+        self: &Arc<Self>,
+    ) -> (
+        SharedPager,
+        Arc<std::collections::BTreeMap<String, Vec<u8>>>,
+    ) {
+        assert!(
+            self.view.is_none(),
+            "snapshot views cannot be snapshotted again"
+        );
+        let (epoch, metas) = self.pin_epoch();
+        let view = Arc::new(Pager {
+            block_size: self.block_size,
+            inner: Mutex::new(PagerInner {
+                backend: Backend::Memory(Vec::new()),
+                free: Vec::new(),
+                stats: IoStats::default(),
+                pool: pool::BufferPool::new(0),
+                fault: None,
+                journal: None,
+                txn: TxnState::default(),
+                overlay: Overlay::default(),
+                retry: RetryPolicy::default(),
+                degraded: None,
+                degraded_entries: 0,
+                snap: SnapState::default(),
+            }),
+            view: Some(SnapshotRef {
+                base: Arc::clone(self),
+                epoch,
+            }),
+        });
+        (view, metas)
+    }
+
+    /// Charge one read to this snapshot view's own stats. Split into its own
+    /// scope so the view's lock is provably released before the base
+    /// pager's lock is taken in [`Pager::read_impl`].
+    fn charge_view_read(&self) {
+        let mut inner = self.lock();
+        inner.stats.reads += 1;
+        trace_record(TraceCounter::BlockRead, 1);
+    }
+
+    /// Force a group-commit boundary now: ask the journal for a durability
+    /// barrier ([`Journal::barrier`]), apply any overlay remainder, and
+    /// publish a fresh epoch so snapshots opened afterwards observe every
+    /// commit streamed so far. Returns `true` when a new epoch was
+    /// published; `false` when there was nothing unpublished, no journal is
+    /// attached, a transaction is open, or the pager is degraded.
+    pub fn publish_barrier(&self) -> bool {
+        let journal = {
+            let inner = self.lock();
+            if inner.degraded.is_some() || inner.txn.depth > 0 {
+                return false;
+            }
+            let Some(journal) = inner.journal.clone() else {
+                return false;
+            };
+            journal
+        };
+        if !journal.barrier() {
+            return false;
+        }
+        let applied_ok = {
+            let mut inner = self.lock();
+            let dirty = !inner.overlay.frames.is_empty()
+                || !inner.overlay.freed.is_empty()
+                || !inner.snap.pending_metas.is_empty();
+            if !dirty {
+                return false;
+            }
+            let overlay = std::mem::take(&mut inner.overlay);
+            let ok = Self::apply_frames(&mut inner, overlay.frames, overlay.freed, self.block_size)
+                .is_ok();
+            if ok {
+                Self::publish_epoch(&mut inner, Vec::new());
+            }
+            ok
+        };
+        if applied_ok {
+            journal.applied();
+        }
+        applied_ok
+    }
+
+    /// Pin a pooled frame against eviction (buffer-pool mode only). Returns
+    /// `false` when the block is not resident. Balance with
+    /// [`Pager::unpin_pooled`]; the audit reports leaked pins.
+    pub fn pin_pooled(&self, id: BlockId) -> bool {
+        self.lock().pool.pin(id)
+    }
+
+    /// Release one eviction pin from a pooled frame. Returns `false` when
+    /// the block is not resident or not pinned.
+    pub fn unpin_pooled(&self, id: BlockId) -> bool {
+        self.lock().pool.unpin(id)
     }
 }
 
@@ -1577,6 +1985,24 @@ impl boxes_audit::Auditable for Pager {
                         .actual("frame caches a freed block"),
                 );
             }
+        }
+        // Pin leaks: the audit runs when every session should have closed,
+        // so surviving pool pins or snapshot-epoch pins are leaked RAII
+        // guards (a dropped-without-unpin bug).
+        for id in inner.pool.pinned_ids() {
+            report.push(
+                Violation::new(ViolationKind::PinLeak, "pager/pool")
+                    .at_block(id.0)
+                    .expected("zero pool pins at audit time")
+                    .actual("frame still pinned against eviction"),
+            );
+        }
+        for (&epoch, &count) in &inner.snap.pins {
+            report.push(
+                Violation::new(ViolationKind::PinLeak, format!("pager/snap/epoch[{epoch}]"))
+                    .expected("zero snapshot pins at audit time")
+                    .actual(format!("{count} reader(s) still pinned")),
+            );
         }
         report
     }
@@ -2117,5 +2543,180 @@ mod tests {
             !image.blocks[0].as_ref().expect("present").intact(),
             "image classifies the slot as torn"
         );
+    }
+
+    #[test]
+    fn snapshot_view_is_immune_to_writer_progress() {
+        let p = pager(64);
+        p.attach_journal(MockJournal::new(1));
+        let a = {
+            let _txn = p.txn();
+            let a = p.alloc();
+            p.write(a, &[1u8; 64]);
+            a
+        };
+        assert_eq!(p.published_epoch(), 1, "every synced commit publishes");
+        let (snap, _metas) = p.snapshot_view();
+        assert_eq!(snap.snapshot_epoch(), Some(1));
+        {
+            let _txn = p.txn();
+            p.write(a, &[2u8; 64]);
+        }
+        assert_eq!(p.published_epoch(), 2);
+        assert_eq!(snap.read(a)[0], 1, "snapshot pins the old version");
+        assert_eq!(p.read(a)[0], 2, "base sees the new committed value");
+        assert_eq!(snap.stats().reads, 1, "view charges its own stats");
+        let base_reads = p.stats().reads;
+        snap.read(a);
+        assert_eq!(p.stats().reads, base_reads, "base stats untouched by view");
+        drop(snap);
+        let (snap2, _metas) = p.snapshot_view();
+        assert_eq!(snap2.read(a)[0], 2, "fresh snapshot sees the new epoch");
+    }
+
+    #[test]
+    fn snapshot_survives_free_of_its_blocks() {
+        let p = pager(64);
+        p.attach_journal(MockJournal::new(1));
+        let (a, b) = {
+            let _txn = p.txn();
+            let a = p.alloc();
+            let b = p.alloc();
+            p.write(a, &[1u8; 64]);
+            p.write(b, &[9u8; 64]);
+            (a, b)
+        };
+        let (snap, _metas) = p.snapshot_view();
+        {
+            let _txn = p.txn();
+            p.free(b);
+        }
+        assert!(!p.is_allocated(b), "base sees the free");
+        assert!(snap.is_allocated(b), "snapshot still sees the block");
+        assert_eq!(snap.read(b)[0], 9, "frozen image survives deallocation");
+        assert_eq!(snap.read(a)[0], 1);
+    }
+
+    #[test]
+    fn dropping_readers_reclaims_frozen_versions() {
+        let p = pager(64);
+        p.attach_journal(MockJournal::new(1));
+        let a = {
+            let _txn = p.txn();
+            let a = p.alloc();
+            p.write(a, &[1u8; 64]);
+            a
+        };
+        let (s1, _m1) = p.snapshot_view();
+        {
+            let _txn = p.txn();
+            p.write(a, &[2u8; 64]);
+        }
+        let (s2, _m2) = p.snapshot_view();
+        {
+            let _txn = p.txn();
+            p.write(a, &[3u8; 64]);
+        }
+        assert_eq!(s1.read(a)[0], 1);
+        assert_eq!(s2.read(a)[0], 2);
+        drop(s1);
+        assert_eq!(s2.read(a)[0], 2, "reclaim keeps versions s2 still needs");
+        drop(s2);
+        let inner = p.lock();
+        assert!(inner.snap.versions.is_empty(), "all versions reclaimed");
+        assert!(inner.snap.pins.is_empty(), "all pins released");
+    }
+
+    #[test]
+    fn publish_barrier_drains_the_group_commit_tail() {
+        let p = pager(64);
+        let j = MockJournal::new(2); // sync every second commit
+        p.attach_journal(j.clone());
+        let a = {
+            let _txn = p.txn();
+            let a = p.alloc();
+            p.write(a, &[1u8; 64]);
+            a
+        };
+        assert_eq!(
+            p.published_epoch(),
+            0,
+            "unsynced commit must not publish an epoch"
+        );
+        let (stale, _m) = p.snapshot_view();
+        assert!(p.publish_barrier(), "tail was dirty: barrier publishes");
+        assert_eq!(p.published_epoch(), 1);
+        assert!(!p.publish_barrier(), "nothing left to publish");
+        let (fresh, _m) = p.snapshot_view();
+        assert_eq!(fresh.read(a)[0], 1, "post-barrier snapshot sees the commit");
+        assert_eq!(
+            j.applied_count(),
+            1,
+            "barrier gives the journal its checkpoint"
+        );
+        drop(stale);
+        drop(fresh);
+    }
+
+    #[test]
+    fn freeing_a_pinned_pooled_frame_is_a_typed_error() {
+        let p = Pager::new(PagerConfig {
+            block_size: 64,
+            pool_capacity: 2,
+            file: None,
+        });
+        let id = p.alloc();
+        p.write(id, &[5u8; 64]);
+        assert!(p.pin_pooled(id));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.free(id)))
+            .expect_err("free of a pinned frame must fail");
+        let err = err
+            .downcast::<PagerError>()
+            .expect("typed PagerError payload");
+        assert!(matches!(*err, PagerError::Pinned { block } if block == id));
+        assert!(p.unpin_pooled(id));
+        p.free(id);
+    }
+
+    #[test]
+    fn audit_flags_leaked_pins() {
+        use boxes_audit::Auditable;
+        let p = Pager::new(PagerConfig {
+            block_size: 64,
+            pool_capacity: 2,
+            file: None,
+        });
+        let id = p.alloc();
+        p.write(id, &[5u8; 64]);
+        assert!(p.pin_pooled(id));
+        let (epoch, _metas) = p.pin_epoch();
+        let report = p.audit();
+        assert_eq!(
+            report
+                .violations()
+                .iter()
+                .filter(|v| v.kind == boxes_audit::ViolationKind::PinLeak)
+                .count(),
+            2,
+            "one pool pin leak + one snapshot pin leak"
+        );
+        assert!(p.unpin_pooled(id));
+        p.unpin_epoch(epoch);
+        p.audit().assert_clean("pager");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot views are read-only")]
+    fn snapshot_views_reject_writes() {
+        let p = pager(64);
+        p.attach_journal(MockJournal::new(1));
+        let a = {
+            let _txn = p.txn();
+            let a = p.alloc();
+            p.write(a, &[1u8; 64]);
+            a
+        };
+        let (snap, _m) = p.snapshot_view();
+        snap.write(a, &[2u8; 64]);
     }
 }

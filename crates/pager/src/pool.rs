@@ -21,7 +21,19 @@ struct Frame {
     dirty: bool,
     /// Logical access time for LRU eviction.
     stamp: u64,
+    /// Pin count: a pinned frame is never an eviction victim.
+    pins: u32,
 }
+
+/// Eviction failure: the pool is full and every frame is pinned, so the
+/// insert could not make room without evicting a pinned frame — which is
+/// impossible by construction. Surfaced as `PagerError::Pinned`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PoolPinned;
+
+/// An evicted dirty block `(id, data)` the caller must write back — or
+/// [`PoolPinned`] when the pool is full of pinned frames.
+pub(crate) type EvictResult = Result<Option<(BlockId, Box<[u8]>)>, PoolPinned>;
 
 /// LRU pool of block copies. Capacity 0 disables it entirely.
 pub(crate) struct BufferPool {
@@ -83,50 +95,100 @@ impl BufferPool {
     }
 
     /// Insert a block just read from disk. Returns an evicted dirty block
-    /// `(id, data)` that the caller must write back, if any.
-    pub fn insert_clean(&mut self, id: BlockId, data: Box<[u8]>) -> Option<(BlockId, Box<[u8]>)> {
+    /// `(id, data)` that the caller must write back, if any, or
+    /// [`PoolPinned`] when the pool is full of pinned frames.
+    pub fn insert_clean(&mut self, id: BlockId, data: Box<[u8]>) -> EvictResult {
         self.insert(id, data, false)
     }
 
     /// Insert a freshly written block. Returns an evicted dirty block the
-    /// caller must write back, if any. Never called with capacity 0.
-    pub fn insert_dirty(&mut self, id: BlockId, data: Box<[u8]>) -> Option<(BlockId, Box<[u8]>)> {
+    /// caller must write back, if any, or [`PoolPinned`] when the pool is
+    /// full of pinned frames. Never called with capacity 0.
+    pub fn insert_dirty(&mut self, id: BlockId, data: Box<[u8]>) -> EvictResult {
         self.insert(id, data, true)
     }
 
-    fn insert(
-        &mut self,
-        id: BlockId,
-        data: Box<[u8]>,
-        dirty: bool,
-    ) -> Option<(BlockId, Box<[u8]>)> {
+    fn insert(&mut self, id: BlockId, data: Box<[u8]>, dirty: bool) -> EvictResult {
         if self.capacity == 0 {
-            return None;
+            return Ok(None);
         }
         let stamp = self.tick();
         if let Some(frame) = self.frames.get_mut(&id) {
             frame.data = data;
             frame.dirty = frame.dirty || dirty;
             frame.stamp = stamp;
-            return None;
+            return Ok(None);
         }
         let evicted = if self.frames.len() >= self.capacity {
-            self.evict_lru()
+            self.evict_lru()?
         } else {
             None
         };
-        self.frames.insert(id, Frame { data, dirty, stamp });
-        evicted
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty,
+                stamp,
+                pins: 0,
+            },
+        );
+        Ok(evicted)
     }
 
-    fn evict_lru(&mut self) -> Option<(BlockId, Box<[u8]>)> {
+    /// Evict the least-recently-used *unpinned* frame. Pinned frames are
+    /// structurally ineligible: the victim search never considers them, so
+    /// evicting a pinned frame is impossible rather than merely checked.
+    fn evict_lru(&mut self) -> EvictResult {
         let victim = self
             .frames
             .iter()
+            .filter(|(_, f)| f.pins == 0)
             .min_by_key(|(_, f)| f.stamp)
-            .map(|(id, _)| *id)?;
-        let frame = self.frames.remove(&victim)?;
-        frame.dirty.then_some((victim, frame.data))
+            .map(|(id, _)| *id)
+            .ok_or(PoolPinned)?;
+        let Some(frame) = self.frames.remove(&victim) else {
+            return Ok(None);
+        };
+        Ok(frame.dirty.then_some((victim, frame.data)))
+    }
+
+    /// Pin a resident frame against eviction. Returns `false` when the
+    /// block is not resident (nothing to pin).
+    pub fn pin(&mut self, id: BlockId) -> bool {
+        match self.frames.get_mut(&id) {
+            Some(frame) => {
+                frame.pins = frame.pins.saturating_add(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop one pin from a resident frame. Returns `false` when the block
+    /// is not resident or not pinned.
+    pub fn unpin(&mut self, id: BlockId) -> bool {
+        match self.frames.get_mut(&id) {
+            Some(frame) if frame.pins > 0 => {
+                frame.pins -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `id` is resident with a nonzero pin count.
+    pub fn is_pinned(&self, id: BlockId) -> bool {
+        self.frames.get(&id).is_some_and(|f| f.pins > 0)
+    }
+
+    /// Ids of every pinned resident frame (audit support).
+    pub fn pinned_ids(&self) -> Vec<BlockId> {
+        self.frames
+            .iter()
+            .filter(|(_, f)| f.pins > 0)
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// Drop any cached copy of `id` without write-back (block was freed).
@@ -174,7 +236,7 @@ mod tests {
     #[test]
     fn zero_capacity_is_inert() {
         let mut pool = BufferPool::new(0);
-        assert!(pool.insert_clean(BlockId(1), blk(1)).is_none());
+        assert_eq!(pool.insert_clean(BlockId(1), blk(1)), Ok(None));
         assert!(pool.get(BlockId(1)).is_none());
         assert_eq!(pool.stats(), PoolStats::default());
     }
@@ -182,10 +244,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut pool = BufferPool::new(2);
-        pool.insert_clean(BlockId(1), blk(1));
-        pool.insert_clean(BlockId(2), blk(2));
+        pool.insert_clean(BlockId(1), blk(1)).expect("room");
+        pool.insert_clean(BlockId(2), blk(2)).expect("room");
         pool.get(BlockId(1)); // 2 is now LRU
-        assert!(pool.insert_clean(BlockId(3), blk(3)).is_none()); // clean eviction
+        assert_eq!(pool.insert_clean(BlockId(3), blk(3)), Ok(None)); // clean eviction
         assert!(pool.get(BlockId(2)).is_none());
         assert!(pool.get(BlockId(1)).is_some());
     }
@@ -193,16 +255,16 @@ mod tests {
     #[test]
     fn dirty_eviction_returns_data() {
         let mut pool = BufferPool::new(1);
-        pool.insert_dirty(BlockId(1), blk(9));
-        let evicted = pool.insert_clean(BlockId(2), blk(2));
+        pool.insert_dirty(BlockId(1), blk(9)).expect("room");
+        let evicted = pool.insert_clean(BlockId(2), blk(2)).expect("unpinned");
         assert_eq!(evicted.map(|(id, d)| (id, d[0])), Some((BlockId(1), 9)));
     }
 
     #[test]
     fn reinsert_merges_dirty_flag() {
         let mut pool = BufferPool::new(2);
-        pool.insert_dirty(BlockId(1), blk(1));
-        pool.insert_clean(BlockId(1), blk(2)); // stays dirty
+        pool.insert_dirty(BlockId(1), blk(1)).expect("room");
+        pool.insert_clean(BlockId(1), blk(2)).expect("in place"); // stays dirty
         let dirty = pool.take_dirty();
         assert_eq!(dirty.len(), 1);
         assert_eq!(dirty[0].1[0], 2);
@@ -212,8 +274,47 @@ mod tests {
     #[test]
     fn discard_drops_without_writeback() {
         let mut pool = BufferPool::new(2);
-        pool.insert_dirty(BlockId(1), blk(1));
+        pool.insert_dirty(BlockId(1), blk(1)).expect("room");
         pool.discard(BlockId(1));
         assert!(pool.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn pinned_frame_is_never_the_eviction_victim() {
+        let mut pool = BufferPool::new(2);
+        pool.insert_clean(BlockId(1), blk(1)).expect("room");
+        pool.insert_clean(BlockId(2), blk(2)).expect("room");
+        assert!(pool.pin(BlockId(1)));
+        // Block 1 is the LRU, but the pin redirects eviction onto block 2.
+        assert_eq!(pool.insert_clean(BlockId(3), blk(3)), Ok(None));
+        assert!(pool.get(BlockId(1)).is_some());
+        assert!(pool.get(BlockId(2)).is_none());
+    }
+
+    #[test]
+    fn full_pool_of_pinned_frames_rejects_inserts() {
+        let mut pool = BufferPool::new(2);
+        pool.insert_clean(BlockId(1), blk(1)).expect("room");
+        pool.insert_clean(BlockId(2), blk(2)).expect("room");
+        assert!(pool.pin(BlockId(1)));
+        assert!(pool.pin(BlockId(2)));
+        assert_eq!(pool.insert_clean(BlockId(3), blk(3)), Err(PoolPinned));
+        assert_eq!(pool.pinned_ids().len(), 2);
+        assert!(pool.unpin(BlockId(2)));
+        assert!(!pool.is_pinned(BlockId(2)));
+        assert_eq!(pool.insert_clean(BlockId(3), blk(3)), Ok(None));
+    }
+
+    #[test]
+    fn pin_requires_residency_and_unpin_balances() {
+        let mut pool = BufferPool::new(2);
+        assert!(!pool.pin(BlockId(7)), "absent block cannot be pinned");
+        pool.insert_clean(BlockId(7), blk(7)).expect("room");
+        assert!(pool.pin(BlockId(7)));
+        assert!(pool.pin(BlockId(7)));
+        assert!(pool.unpin(BlockId(7)));
+        assert!(pool.is_pinned(BlockId(7)), "second pin still held");
+        assert!(pool.unpin(BlockId(7)));
+        assert!(!pool.unpin(BlockId(7)), "unbalanced unpin is reported");
     }
 }

@@ -24,14 +24,19 @@
 //! There is no wall clock anywhere (lint rule BX007): time is a logical
 //! tick counter advanced once per recorded event and span transition, so
 //! two runs of the same seeded workload produce byte-identical reports.
-//! Span *stacks* are thread-local (a span opened on one thread can only be
-//! closed there, and only attributes events recorded on that thread), but
-//! the registry behind them — ticks, tallies, aggregates, the event ring —
-//! is a single mutex-guarded global, so a report taken on the main thread
-//! accounts for reader threads too and the identity below holds across
-//! threads. Single-threaded runs see the exact same tick sequence as the
-//! old thread-local tracer. This crate deliberately has zero dependencies
-//! so the pager can sit above it.
+//! Span stacks are *per-thread by key, not thread-local by storage*: the
+//! mutex-guarded registry keys each stack by `ThreadId`, so a span opened
+//! on one thread attributes only events recorded on that thread, while
+//! every tally, aggregate, and the event ring live in the same global —
+//! a report taken on the main thread accounts for reader threads too and
+//! the identity below holds across threads. Single-threaded runs see the
+//! exact same tick sequence as the old thread-local tracer. On top of the
+//! stacks sits *session attribution*: a [`TraceSession`] handle binds a
+//! thread to a session id, root spans opened on a bound thread inherit
+//! it, and every recorded event is tallied per session — this is what
+//! lets `boxes-session` prove each snapshot's logical I/O separately
+//! while the global identity still closes. This crate deliberately has
+//! zero dependencies so the pager can sit above it.
 //!
 //! # Accounting identity
 //!
@@ -49,10 +54,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
+use std::thread::ThreadId;
 
 /// Number of distinct [`Counter`] kinds.
 pub const COUNTER_KINDS: usize = 12;
@@ -316,13 +322,29 @@ struct Frame {
     label: &'static str,
     phase: bool,
     start_tick: u64,
+    /// Owning session id (0 = unbound). Root frames take the opening
+    /// thread's binding; child frames inherit their parent's.
+    session: u64,
+    counters: TraceCounters,
+}
+
+/// Per-session tally: label, totals, and whether the RAII handle is
+/// still alive.
+#[derive(Debug, Clone)]
+struct SessionStat {
+    label: &'static str,
+    open: bool,
     counters: TraceCounters,
 }
 
 /// Default bound on the ring buffer of closed-span events.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
-/// The shared registry: everything except the per-thread span stacks.
+/// The shared registry, span stacks included: stacks are keyed by
+/// `ThreadId` inside the one mutex-guarded global rather than living in
+/// `thread_local!` storage, so the whole tracer is a single `Sync` value
+/// (sync-readiness rule BX018) and session tallies can be bumped in the
+/// same critical section that attributes an event to a frame.
 #[derive(Default)]
 struct Tracer {
     next_id: u64,
@@ -336,6 +358,13 @@ struct Tracer {
     ops: BTreeMap<(&'static str, &'static str), OpAgg>,
     phases: BTreeMap<(&'static str, &'static str), OpAgg>,
     out_of_order_closes: u64,
+    /// Per-thread span stacks; an entry is removed when its stack drains.
+    stacks: HashMap<ThreadId, Vec<Frame>>,
+    /// Thread → session binding installed by [`TraceSession`].
+    bindings: HashMap<ThreadId, u64>,
+    /// Per-session tallies, keyed by session id (ids are 1-based).
+    sessions: BTreeMap<u64, SessionStat>,
+    next_session: u64,
 }
 
 impl Tracer {
@@ -343,13 +372,6 @@ impl Tracer {
         self.ticks = self.ticks.saturating_add(1);
         self.ticks
     }
-}
-
-// Per-thread span stack. Only the frames live here: a span attributes
-// events recorded on its own thread, while every tally and aggregate is
-// folded into the global registry so cross-thread reports stay complete.
-thread_local! {
-    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
 }
 
 static TRACER: OnceLock<Mutex<Tracer>> = OnceLock::new();
@@ -371,31 +393,28 @@ fn with_tracer<R>(f: impl FnOnce(&mut Tracer) -> R) -> R {
     f(&mut guard)
 }
 
-fn with_stack<R>(f: impl FnOnce(&mut Vec<Frame>) -> R) -> R {
-    STACK.with(|s| f(&mut s.borrow_mut()))
-}
-
 fn open_span(scheme: &'static str, label: &'static str, phase: bool) -> u64 {
-    let (parent, depth, scheme) = with_stack(|stack| match stack.last() {
-        Some(top) => {
-            // Phase sub-spans inherit the scheme tag they run under.
-            let s = if phase && scheme.is_empty() {
-                top.scheme
-            } else {
-                scheme
-            };
-            (top.id, top.depth.saturating_add(1), s)
-        }
-        None => (0, 0, scheme),
-    });
-    let (id, start_tick) = with_tracer(|t| {
+    with_tracer(|t| {
+        let tid = std::thread::current().id();
+        let (parent, depth, scheme, session) = match t.stacks.get(&tid).and_then(|s| s.last()) {
+            Some(top) => {
+                // Phase sub-spans inherit the scheme tag they run under;
+                // every child inherits its parent's session.
+                let s = if phase && scheme.is_empty() {
+                    top.scheme
+                } else {
+                    scheme
+                };
+                (top.id, top.depth.saturating_add(1), s, top.session)
+            }
+            // Root spans take the opening thread's session binding.
+            None => (0, 0, scheme, t.bindings.get(&tid).copied().unwrap_or(0)),
+        };
         let start_tick = t.tick();
         t.next_id = t.next_id.saturating_add(1);
         t.open_spans = t.open_spans.saturating_add(1);
-        (t.next_id, start_tick)
-    });
-    with_stack(|stack| {
-        stack.push(Frame {
+        let id = t.next_id;
+        t.stacks.entry(tid).or_default().push(Frame {
             id,
             parent,
             depth,
@@ -403,10 +422,11 @@ fn open_span(scheme: &'static str, label: &'static str, phase: bool) -> u64 {
             label,
             phase,
             start_tick,
+            session,
             counters: TraceCounters::default(),
         });
-    });
-    id
+        id
+    })
 }
 
 fn close_span(id: u64) {
@@ -414,19 +434,23 @@ fn close_span(id: u64) {
     // out-of-order close rather than corrupting the stack. A close for a
     // frame this thread does not own (never possible through the RAII
     // handle) is ignored.
-    let closed = with_stack(|stack| {
-        let pos = stack.iter().rposition(|f| f.id == id)?;
+    with_tracer(|t| {
+        let tid = std::thread::current().id();
+        let Some(stack) = t.stacks.get_mut(&tid) else {
+            return;
+        };
+        let Some(pos) = stack.iter().rposition(|f| f.id == id) else {
+            return;
+        };
         let out_of_order = pos != stack.len() - 1;
         let frame = stack.remove(pos);
         if let Some(parent) = stack.last_mut() {
             parent.counters.merge(&frame.counters);
         }
-        Some((frame, out_of_order))
-    });
-    let Some((frame, out_of_order)) = closed else {
-        return;
-    };
-    with_tracer(|t| {
+        let drained = stack.is_empty();
+        if drained {
+            t.stacks.remove(&tid);
+        }
         let end_tick = t.tick();
         t.open_spans = t.open_spans.saturating_sub(1);
         if out_of_order {
@@ -498,24 +522,32 @@ impl Drop for OpSpan {
 
 /// Record `n` events of `kind` against the innermost span open *on this
 /// thread* (or the global unattributed tally when none is). Called by the
-/// pager and the WAL at the same sites that bump their own stats.
+/// pager and the WAL at the same sites that bump their own stats. The
+/// owning session — the frame's inherited session, or the bare thread
+/// binding when no span is open — is tallied in the same critical
+/// section.
 pub fn record(kind: Counter, n: u64) {
     if n == 0 {
         return;
     }
-    let attributed = with_stack(|stack| match stack.last_mut() {
-        Some(top) => {
-            top.counters.bump(kind, n);
-            true
-        }
-        None => false,
-    });
     with_tracer(|t| {
         t.tick();
-        if attributed {
-            t.attributed.bump(kind, n);
-        } else {
-            t.unattributed.bump(kind, n);
+        let tid = std::thread::current().id();
+        let session = match t.stacks.get_mut(&tid).and_then(|s| s.last_mut()) {
+            Some(top) => {
+                top.counters.bump(kind, n);
+                t.attributed.bump(kind, n);
+                top.session
+            }
+            None => {
+                t.unattributed.bump(kind, n);
+                t.bindings.get(&tid).copied().unwrap_or(0)
+            }
+        };
+        if session != 0 {
+            if let Some(s) = t.sessions.get_mut(&session) {
+                s.counters.bump(kind, n);
+            }
         }
     });
 }
@@ -529,20 +561,34 @@ pub fn reset() {
         let capacity = t.event_capacity;
         let next_id = t.next_id;
         let open = t.open_spans;
+        let next_session = t.next_session;
+        // Keep live frames so RAII drops of pre-reset spans stay sound,
+        // but zero their partial counts. Bindings and still-open sessions
+        // survive (zeroed) so live TraceSession handles stay meaningful;
+        // closed sessions are dropped with the rest of the tallies.
+        let mut stacks = std::mem::take(&mut t.stacks);
+        for stack in stacks.values_mut() {
+            for f in stack.iter_mut() {
+                f.counters = TraceCounters::default();
+                f.start_tick = 0;
+            }
+        }
+        let bindings = std::mem::take(&mut t.bindings);
+        let mut sessions = std::mem::take(&mut t.sessions);
+        sessions.retain(|_, s| s.open);
+        for s in sessions.values_mut() {
+            s.counters = TraceCounters::default();
+        }
         *t = Tracer {
             event_capacity: capacity,
             next_id,
             open_spans: open,
+            next_session,
+            stacks,
+            bindings,
+            sessions,
             ..Tracer::default()
         };
-    });
-    // Keep live frames so RAII drops of pre-reset spans stay sound, but
-    // zero their partial counts.
-    with_stack(|stack| {
-        for f in stack.iter_mut() {
-            f.counters = TraceCounters::default();
-            f.start_tick = 0;
-        }
     });
 }
 
@@ -593,6 +639,98 @@ pub fn set_event_capacity(capacity: usize) {
     });
 }
 
+/// RAII per-session attribution handle.
+///
+/// `begin` allocates a fresh session id, starts a tally for it, and binds
+/// the *current thread* to it: root spans opened on a bound thread (and
+/// every event they attribute) are tallied against the session, as are
+/// span-less events recorded on the thread. A session follows work across
+/// threads via [`TraceSession::bind_current_thread`]. Dropping the handle
+/// marks the session closed and removes its thread bindings; the tally
+/// itself survives in [`report`]s until the next [`reset`].
+///
+/// One session per thread at a time: binding a thread overwrites any
+/// previous binding, so interleave sessions across threads, not within
+/// one.
+#[derive(Debug)]
+#[must_use = "dropping a session immediately unbinds its threads"]
+pub struct TraceSession {
+    id: u64,
+}
+
+impl TraceSession {
+    /// Start a session and bind the current thread to it.
+    pub fn begin(label: &'static str) -> TraceSession {
+        with_tracer(|t| {
+            t.next_session = t.next_session.saturating_add(1);
+            let id = t.next_session;
+            t.sessions.insert(
+                id,
+                SessionStat {
+                    label,
+                    open: true,
+                    counters: TraceCounters::default(),
+                },
+            );
+            t.bindings.insert(std::thread::current().id(), id);
+            TraceSession { id }
+        })
+    }
+
+    /// The session id (1-based, allocation order; 0 means "no session").
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Bind the calling thread to this session (for work handed across
+    /// threads). Replaces the thread's previous binding, if any.
+    pub fn bind_current_thread(&self) {
+        let id = self.id;
+        with_tracer(|t| {
+            t.bindings.insert(std::thread::current().id(), id);
+        });
+    }
+
+    /// This session's tally so far.
+    #[must_use]
+    pub fn counters(&self) -> TraceCounters {
+        session_counters(self.id).unwrap_or_default()
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        let id = self.id;
+        with_tracer(|t| {
+            if let Some(s) = t.sessions.get_mut(&id) {
+                s.open = false;
+            }
+            t.bindings.retain(|_, bound| *bound != id);
+        });
+    }
+}
+
+/// Tally of one session by id, if it exists (i.e. began after the last
+/// [`reset`], or was still open across it).
+#[must_use]
+pub fn session_counters(id: u64) -> Option<TraceCounters> {
+    with_tracer(|t| t.sessions.get(&id).map(|s| s.counters))
+}
+
+/// One session's row in a [`TraceReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTally {
+    /// Session id (1-based, allocation order).
+    pub id: u64,
+    /// Label given to [`TraceSession::begin`].
+    pub label: String,
+    /// Whether the RAII handle was still alive at snapshot time.
+    pub open: bool,
+    /// Counter totals attributed to the session.
+    pub counters: TraceCounters,
+}
+
 /// Immutable snapshot of the tracer: aggregates, global tallies, and the
 /// ring of recent closed spans.
 #[derive(Debug, Clone, Default)]
@@ -613,6 +751,8 @@ pub struct TraceReport {
     pub ops: Vec<((String, String), OpAgg)>,
     /// Per-(scheme, phase) aggregates over phase sub-spans.
     pub phases: Vec<((String, String), OpAgg)>,
+    /// Per-session tallies, in session-id order.
+    pub sessions: Vec<SessionTally>,
     /// Most recent closed spans, oldest first.
     pub events: Vec<SpanEvent>,
 }
@@ -636,6 +776,16 @@ pub fn report() -> TraceReport {
             .phases
             .iter()
             .map(|(&(s, l), agg)| ((s.to_string(), l.to_string()), agg.clone()))
+            .collect(),
+        sessions: t
+            .sessions
+            .iter()
+            .map(|(&id, s)| SessionTally {
+                id,
+                label: s.label.to_string(),
+                open: s.open,
+                counters: s.counters,
+            })
             .collect(),
         events: t.events.iter().cloned().collect(),
     })
@@ -692,7 +842,7 @@ impl TraceReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\"schema\":\"boxes-trace/1\",\"ticks\":");
+        out.push_str("{\"schema\":\"boxes-trace/2\",\"ticks\":");
         out.push_str(&self.ticks.to_string());
         out.push_str(",\"open_spans\":");
         out.push_str(&self.open_spans.to_string());
@@ -717,6 +867,21 @@ impl TraceReport {
                 out.push(',');
             }
             agg_json_into(s, l, agg, &mut out);
+        }
+        out.push_str("],\"sessions\":[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            out.push_str(&s.id.to_string());
+            out.push_str(",\"label\":\"");
+            json_escape_into(&s.label, &mut out);
+            out.push_str("\",\"open\":");
+            out.push_str(if s.open { "true" } else { "false" });
+            out.push_str(",\"counters\":");
+            s.counters.json_into(&mut out);
+            out.push('}');
         }
         out.push_str("],\"events\":[");
         for (i, e) in self.events.iter().enumerate() {
@@ -897,10 +1062,79 @@ mod tests {
         let a = report().to_json();
         let b = report().to_json();
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"schema\":\"boxes-trace/1\""));
+        assert!(a.starts_with("{\"schema\":\"boxes-trace/2\""));
         assert!(a.contains("\"scheme\":\"W-BOX\""));
         assert!(a.contains("\"cache_hits\":1"));
+        assert!(a.contains("\"sessions\":["));
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn session_owns_spans_and_bare_events_on_its_thread() {
+        let _guard = serial();
+        reset();
+        let counters = {
+            let session = TraceSession::begin("reader");
+            assert!(session.id() > 0);
+            {
+                let _op = OpSpan::op("W-BOX", "lookup");
+                record(Counter::BlockRead, 3);
+                {
+                    let _p = OpSpan::phase("descend");
+                    record(Counter::CacheHit, 2);
+                }
+            }
+            // Span-less events on a bound thread still land in the
+            // session (and in the global unattributed tally).
+            record(Counter::WalSync, 1);
+            session.counters()
+        };
+        assert_eq!(counters.reads, 3);
+        assert_eq!(counters.cache_hits, 2);
+        assert_eq!(counters.wal_syncs, 1);
+        assert_eq!(unattributed().wal_syncs, 1);
+        let r = report();
+        assert_eq!(r.sessions.len(), 1);
+        assert_eq!(r.sessions[0].label, "reader");
+        assert!(!r.sessions[0].open);
+        assert_eq!(r.sessions[0].counters, counters);
+    }
+
+    #[test]
+    fn sessions_partition_events_across_threads() {
+        let _guard = serial();
+        reset();
+        let a = TraceSession::begin("writer");
+        {
+            let _op = OpSpan::op("W-BOX", "insert");
+            record(Counter::BlockWrite, 4);
+        }
+        let b_id = std::thread::spawn(|| {
+            let b = TraceSession::begin("reader");
+            let _op = OpSpan::op("W-BOX", "lookup");
+            record(Counter::BlockRead, 2);
+            b.id()
+        })
+        .join()
+        .expect("reader thread");
+        assert_eq!(a.counters(), io(0, 4));
+        assert_eq!(session_counters(b_id), Some(io(2, 0)));
+        // Global identity still closes across both sessions.
+        assert_eq!(observed(), io(2, 4));
+        assert_eq!(open_spans(), 0);
+    }
+
+    #[test]
+    fn unbound_threads_tally_to_no_session() {
+        let _guard = serial();
+        reset();
+        {
+            let _op = OpSpan::op("LIDF", "read");
+            record(Counter::BlockRead, 1);
+        }
+        let r = report();
+        assert!(r.sessions.is_empty());
+        assert_eq!(attributed(), io(1, 0));
     }
 
     #[test]

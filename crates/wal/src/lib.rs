@@ -127,6 +127,24 @@ mod tests {
     }
 
     #[test]
+    fn publish_barrier_syncs_the_pending_tail() {
+        let (pager, wal) = journaled_pager(WalConfig {
+            sync_every: 4,
+            checkpoint_every: 0,
+        });
+        run_ops(&pager, 2); // both commits pending, nothing durable yet
+        assert_eq!(pager.published_epoch(), 0);
+        assert!(pager.publish_barrier(), "pending tail forces a real fsync");
+        assert_eq!(wal.stats().syncs, 1);
+        assert_eq!(pager.published_epoch(), 1);
+        let recovered = recover(&wal.durable_bytes(), pager.disk_image()).expect("recover");
+        assert_eq!(recovered.commits, 2, "barrier made both commits durable");
+        // Idempotent: an already-synced log charges no second fsync.
+        assert!(!pager.publish_barrier(), "nothing left to publish");
+        assert_eq!(wal.stats().syncs, 1);
+    }
+
+    #[test]
     fn checkpoint_truncates_log_and_preserves_state() {
         let (pager, wal) = journaled_pager(WalConfig {
             sync_every: 1,

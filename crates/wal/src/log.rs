@@ -188,6 +188,26 @@ impl Journal for Wal {
         true
     }
 
+    fn barrier(&self) -> bool {
+        {
+            let inner = lock_unpoisoned(&self.inner);
+            if inner.pending.is_empty() {
+                // Already at a barrier: no fsync to charge, nothing to lose.
+                return true;
+            }
+        }
+        // Crash point: an explicit durability barrier, same exposure as the
+        // sync_every-triggered one in `commit`.
+        self.tick();
+        let mut inner = lock_unpoisoned(&self.inner);
+        let pending = std::mem::take(&mut inner.pending);
+        inner.durable.extend_from_slice(&pending);
+        inner.stats.syncs += 1;
+        boxes_trace::record(boxes_trace::Counter::WalSync, 1);
+        inner.commits_since_sync = 0;
+        true
+    }
+
     fn applied(&self) {
         if self.config.checkpoint_every == 0 {
             return;

@@ -4,14 +4,17 @@
 //! source analyzer), [`semantic`] (auditor-driven workload replay),
 //! [`crash`] (WAL crash-injection sweeps with recovery verification),
 //! [`chaos`] (seeded faulty-disk sweeps: retry, read-repair, degraded
-//! mode), and [`profile`] (trace-attribution identity checks plus the
-//! `trace-report.json` / `BENCH_boxes.json` artifacts).
+//! mode), [`sessions`] (concurrent snapshot-reader stress plus the
+//! `session-report.json` artifact), and [`profile`] (trace-attribution
+//! identity checks plus the `trace-report.json` / `BENCH_boxes.json`
+//! artifacts).
 
 mod chaos;
 mod crash;
 mod lint;
 mod profile;
 mod semantic;
+mod sessions;
 mod sweeps;
 
 use std::path::Path;
@@ -24,6 +27,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     let mut lint_only = false;
     let mut chaos_only = false;
     let mut profile_only = false;
+    let mut sessions_only = false;
     let mut baseline = false;
     let mut explain: Option<String> = None;
     let mut it = args.iter();
@@ -47,6 +51,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
             "--lint-only" => lint_only = true,
             "--chaos-only" => chaos_only = true,
             "--profile-only" => profile_only = true,
+            "--sessions-only" => sessions_only = true,
             "--baseline" => baseline = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -72,6 +77,9 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     if profile_only {
         return i32::from(!profile::profile_lint(seed, &root));
     }
+    if sessions_only {
+        return i32::from(!sessions::sessions_lint(&root));
+    }
 
     let mut failures = 0u32;
     let mut step = |name: &str, ok: bool| {
@@ -93,6 +101,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     step("semantic lint", semantic::semantic_lint(seed));
     step("crash recovery", crash::crash_recovery_lint(seed));
     step("chaos sweep", chaos::chaos_lint(seed, &root));
+    step("session stress", sessions::sessions_lint(&root));
     step("profile/attribution", profile::profile_lint(seed, &root));
 
     if failures == 0 {

@@ -6,17 +6,25 @@
 //! reached the pager outside any span, i.e. the observability wiring has a
 //! hole; the gate fails.
 //!
+//! The identity is also enforced with **concurrent sessions**: four
+//! snapshot readers (each a `boxes-session` reader with its own trace
+//! session) perform fixed lookups while the writer streams — per-session
+//! attributed counters plus unattributed must equal the pager I/O delta
+//! (base pager + every snapshot view) exactly.
+//!
 //! The pass also writes two deterministic artifacts:
 //!
-//! * `target/trace-report.json` — the `boxes-trace/1` span/counter report
+//! * `target/trace-report.json` — the `boxes-trace/2` span/counter report
 //!   aggregated over every profiled leg (per-op I/O histograms, phase
-//!   totals, the attribution split);
-//! * `target/BENCH_boxes.json` — the `boxes-bench/1` perf trajectory for a
-//!   reduced lineup (per-op distributions and amortized windows).
+//!   totals, per-session tallies, the attribution split);
+//! * `target/BENCH_boxes.json` — the `boxes-bench/2` perf trajectory for a
+//!   reduced lineup (per-op distributions, amortized windows, and the
+//!   multithreaded `concurrent_lookup` scaling rows).
 
 use std::path::Path;
+use std::sync::{Arc, Barrier};
 
-use boxes_bench::report::{bench_json, write_bench_json, JsonWorkload};
+use boxes_bench::report::{bench_json_full, write_bench_json, ConcurrentLeg, JsonWorkload};
 use boxes_bench::{run_schemes, SchemeKind};
 use boxes_core::bbox::BBoxConfig;
 use boxes_core::lidf::{BlockPtrRecord, Lidf};
@@ -28,6 +36,7 @@ use boxes_core::wal::{Wal, WalConfig};
 use boxes_core::wbox::WBoxConfig;
 use boxes_core::xml::workload::{concentrated, scattered, UpdateStream};
 use boxes_core::{BBoxScheme, DocumentDriver, LabelingScheme, NaiveScheme, WBoxScheme};
+use boxes_session::{SessionManager, SessionScheme};
 use boxes_trace as trace;
 
 /// Retry budget for the faulty leg — generous, so in-budget noise never
@@ -211,6 +220,209 @@ fn profile_faulty(seed: u64) -> Result<(), String> {
     Err("faulty/wbox: no derivation produced both retries and repairs".into())
 }
 
+/// Sum the seven shared counters of two [`IoStats`] deltas.
+fn add_stats(a: &mut IoStats, b: &IoStats) {
+    a.reads += b.reads;
+    a.writes += b.writes;
+    a.allocs += b.allocs;
+    a.frees += b.frees;
+    a.retries += b.retries;
+    a.repairs += b.repairs;
+    a.backoff_ticks += b.backoff_ticks;
+}
+
+/// A spin-yield token relay: participant `p` of `n` acts on every turn
+/// `t` with `t % n == p`, so work interleaves in a fixed round-robin
+/// order. The trace layer allocates span ids and ticks globally; the
+/// relay makes that allocation deterministic while every session stays
+/// *open* concurrently (existence is concurrent, execution is turn-based).
+struct Relay {
+    turn: std::sync::atomic::AtomicU64,
+}
+
+impl Relay {
+    fn wait_for(&self, turn: u64) {
+        use std::sync::atomic::Ordering;
+        while self.turn.load(Ordering::Acquire) != turn {
+            std::thread::yield_now();
+        }
+    }
+
+    fn advance(&self) {
+        use std::sync::atomic::Ordering;
+        self.turn.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Concurrent-session leg: four reader threads hold open snapshot
+/// sessions — all live at once for the entire leg — and each performs a
+/// fixed lookup batch per relay round while the writer session streams
+/// inserts on this thread. The accounting identity must hold *with
+/// per-session attribution*: nothing lands unattributed, the attributed
+/// delta equals the base pager's delta plus every snapshot view's own
+/// delta, and the session tallies sum exactly to the attributed delta.
+/// The relay keeps trace ticks deterministic, so the leg's spans land
+/// byte-stably in `trace-report.json`.
+fn profile_sessions() -> Result<(), String> {
+    const READERS: usize = 4;
+    const PARTIES: u64 = READERS as u64 + 1; // writer is participant 4
+    const ROUNDS: u64 = 5;
+    const BATCH: usize = 8; // lookups per reader per round
+    let block_size = 1024;
+    let manager = Arc::new(SessionManager::<WBoxScheme>::create(
+        journaled_pager(block_size),
+        WBoxConfig::from_block_size(block_size),
+    ));
+    let lids = {
+        let mut writer = manager.writer().map_err(|e| e.to_string())?;
+        let partner: Vec<usize> = (0..32).map(|i| i ^ 1).collect();
+        let lids = writer.bulk_load_document(&partner);
+        writer.publish();
+        lids
+    };
+
+    let before = mark();
+    let base0 = manager.pager().stats();
+    // Claim the writer before spawning readers so trace-session creation
+    // order (hence the report's session ids) is deterministic.
+    let mut writer = manager.writer().map_err(|e| e.to_string())?;
+    let relay = Arc::new(Relay {
+        turn: std::sync::atomic::AtomicU64::new(0),
+    });
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let manager = Arc::clone(&manager);
+            let relay = Arc::clone(&relay);
+            let lids = lids.clone();
+            std::thread::spawn(move || -> Result<(IoStats, trace::TraceCounters), String> {
+                // Turn r of round 0: open this reader's session. It
+                // stays open across every later round, so all four
+                // sessions (plus the writer) are live concurrently.
+                relay.wait_for(r as u64);
+                let snap = manager.snapshot().map_err(|e| e.to_string())?;
+                snap.bind_current_thread();
+                relay.advance();
+                for round in 1..=ROUNDS {
+                    relay.wait_for(round * PARTIES + r as u64);
+                    for i in 0..BATCH {
+                        let _ = snap.lookup(lids[(i * 5 + r) % lids.len()]);
+                    }
+                    relay.advance();
+                }
+                Ok((snap.io(), snap.trace().counters()))
+            })
+        })
+        .collect();
+
+    // The writer takes the last turn of each round (self-journaling ops,
+    // so every commit lands inside the op's span).
+    relay.wait_for(READERS as u64);
+    relay.advance();
+    for round in 1..=ROUNDS {
+        relay.wait_for(round * PARTIES + READERS as u64);
+        for i in 0..3 {
+            writer.insert_element_before(lids[(round as usize * 3 + i) % lids.len()]);
+        }
+        if round == ROUNDS {
+            writer.publish();
+        }
+        relay.advance();
+    }
+    let mut session_sum = writer.trace().counters();
+    drop(writer);
+
+    let mut pager_delta = manager.pager().stats().since(&base0);
+    for handle in readers {
+        let (io, tally) = handle
+            .join()
+            .map_err(|_| "reader thread panicked".to_string())??;
+        add_stats(&mut pager_delta, &io);
+        session_sum.merge(&tally);
+    }
+    check_identity("sessions/wbox-readers", &before, pager_delta)?;
+    let attributed = trace::attributed().since(&before.attributed);
+    if attributed != session_sum {
+        return Err(format!(
+            "sessions/wbox-readers: per-session tallies do not sum to the \
+             attributed delta: sessions {session_sum:?}, attributed {attributed:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Deterministic multithreaded snapshot-lookup legs for the trajectory:
+/// for each thread count, that many reader sessions open concurrently and
+/// each performs a fixed lookup batch. Throughput is lookups per
+/// critical-path logical I/O (the busiest single session) — wall-clock
+/// free, so the rows are byte-stable. Readers share no I/O, so the
+/// aggregate must scale: the 4-reader leg is required to beat the
+/// 1-reader leg by more than 2x.
+fn concurrent_legs<S>(name: &str, config: S::Config) -> Result<Vec<ConcurrentLeg>, String>
+where
+    S: SessionScheme + 'static,
+    S::Config: 'static,
+{
+    const LOOKUPS: u64 = 64;
+    let mut legs = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let manager = Arc::new(SessionManager::<S>::create(
+            journaled_pager(1024),
+            config.clone(),
+        ));
+        let lids = {
+            let mut writer = manager.writer().map_err(|e| e.to_string())?;
+            let partner: Vec<usize> = (0..64).map(|i| i ^ 1).collect();
+            let lids = writer.bulk_load_document(&partner);
+            writer.publish();
+            lids
+        };
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let manager = Arc::clone(&manager);
+                let barrier = Arc::clone(&barrier);
+                let lids = lids.clone();
+                std::thread::spawn(move || -> Result<u64, String> {
+                    let snap = manager.snapshot().map_err(|e| e.to_string())?;
+                    snap.bind_current_thread();
+                    barrier.wait();
+                    let io0 = snap.io().total();
+                    for i in 0..usize::try_from(LOOKUPS).unwrap_or(0) {
+                        let _ = snap.lookup(lids[(i * 7 + t) % lids.len()]);
+                    }
+                    Ok(snap.io().total() - io0)
+                })
+            })
+            .collect();
+        let mut ios = Vec::new();
+        for handle in handles {
+            ios.push(
+                handle
+                    .join()
+                    .map_err(|_| "reader thread panicked".to_string())??,
+            );
+        }
+        let max_session_io = ios.iter().copied().max().unwrap_or(0).max(1);
+        let total_io: u64 = ios.iter().sum();
+        legs.push(ConcurrentLeg {
+            scheme: name.into(),
+            threads,
+            lookups_per_thread: LOOKUPS,
+            max_session_io,
+            total_io,
+            throughput_per_io: (threads as u64 * LOOKUPS) as f64 / max_session_io as f64,
+        });
+    }
+    let (t1, t4) = (legs[0].throughput_per_io, legs[1].throughput_per_io);
+    if t4 <= 2.0 * t1 {
+        return Err(format!(
+            "{name}: 4-reader aggregate throughput {t4:.2}/io is not >2x \
+             the 1-reader leg {t1:.2}/io"
+        ));
+    }
+    Ok(legs)
+}
+
 /// Write `target/trace-report.json` from the aggregate tracer state.
 fn write_trace_report(root: &Path) -> Result<(), String> {
     let report = trace::report();
@@ -224,7 +436,8 @@ fn write_trace_report(root: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Write `target/BENCH_boxes.json`: the reduced-lineup perf trajectory.
+/// Write `target/BENCH_boxes.json`: the reduced-lineup perf trajectory
+/// plus the multithreaded `concurrent_lookup` scaling rows.
 fn write_bench_trajectory(root: &Path) -> Result<(), String> {
     let lineup = [
         SchemeKind::WBox,
@@ -247,7 +460,12 @@ fn write_bench_trajectory(root: &Path) -> Result<(), String> {
             results: &scat_results,
         },
     ];
-    let json = bench_json(block_size, &workloads);
+    let mut concurrent = concurrent_legs::<WBoxScheme>("W-BOX", WBoxConfig::from_block_size(1024))?;
+    concurrent.extend(concurrent_legs::<BBoxScheme>(
+        "B-BOX",
+        BBoxConfig::from_block_size(1024),
+    )?);
+    let json = bench_json_full(block_size, &workloads, &concurrent);
     let path = root.join("target").join("BENCH_boxes.json");
     write_bench_json(&path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("  profile: wrote {}", path.display());
@@ -329,6 +547,9 @@ pub(crate) fn profile_lint(seed: u64, root: &Path) -> bool {
     // Allocator and fault-service legs.
     checks.push(("lidf/standalone".into(), profile_lidf(seed)));
     checks.push(("faulty/wbox".into(), profile_faulty(seed)));
+
+    // Concurrent sessions: the identity with four live snapshot readers.
+    checks.push(("sessions/wbox-readers".into(), profile_sessions()));
 
     let mut ok = true;
     for (name, result) in checks {
