@@ -9,6 +9,7 @@
 use crate::node::{ChildEntry, Node};
 use crate::tree::BBox;
 use boxes_lidf::{BlockPtrRecord, Lid};
+use boxes_pager::codec::{usize_to_i64, usize_to_u64};
 use boxes_pager::BlockId;
 
 /// Split `total` entries into chunks of at most `cap`, each at least `min`
@@ -59,7 +60,7 @@ impl BBox {
         self.pager().free(old_root);
         let (root, height, lids) = self.build_forest(count);
         self.set_root(root, height);
-        self.add_len(count as i64);
+        self.add_len(usize_to_i64(count));
         lids
     }
 
@@ -93,7 +94,7 @@ impl BBox {
                     parent: BlockId::INVALID,
                     lids: chunk,
                 },
-                size as u64,
+                usize_to_u64(size),
             ));
         }
 

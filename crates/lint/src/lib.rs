@@ -5,12 +5,13 @@
 //! means *discipline*: every disk touch flows through the accounted
 //! [`Pager`] entry points and label/offset arithmetic never silently
 //! truncates. Generic tools cannot see those invariants; this crate encodes
-//! them as the BX001–BX019 rule catalog (see [`rules`]) over a hand-rolled
+//! them as the BX001–BX020 rule catalog (see [`rules`]) over a hand-rolled
 //! lexer ([`lexer`]) and a lightweight token-stream model ([`model`]).
 //!
 //! Three analysis tiers share that substrate:
 //!
-//! * **Token-stream rules** (BX001–BX009) are pure per-file functions.
+//! * **Token-stream rules** (BX001–BX009, BX020) are pure per-file
+//!   functions.
 //! * **Call-graph rules** (BX010–BX014) run over an [`Analysis`]: an
 //!   item-level parse ([`parser`]) of every file, a heuristic workspace
 //!   call graph ([`callgraph`]) with explicit unknown edges so reachability
@@ -51,7 +52,7 @@ pub mod model;
 pub mod parser;
 /// Diagnostics plus the human and JSON renderers.
 pub mod report;
-/// The BX001–BX019 rule catalog.
+/// The BX001–BX020 rule catalog.
 pub mod rules;
 
 use std::collections::BTreeSet;

@@ -2,8 +2,8 @@
 //!
 //! Three rule families share this module's helpers:
 //!
-//! * [`stream`] — BX001–BX009, pure functions over one [`SourceFile`]'s
-//!   token stream (no cross-file knowledge).
+//! * [`stream`] — BX001–BX009 and BX020, pure functions over one
+//!   [`SourceFile`]'s token stream (no cross-file knowledge).
 //! * [`graph`] — BX010–BX014, functions over the whole-workspace
 //!   [`Analysis`](crate::Analysis): call graph plus dataflow summaries.
 //! * [`locks`] — BX015–BX019, lock-discipline rules over the workspace
@@ -18,7 +18,7 @@
 pub mod graph;
 /// BX015–BX019: lock-discipline rules over the lock-set analysis.
 pub mod locks;
-/// BX001–BX009: per-file token-stream rules.
+/// BX001–BX009 and BX020: per-file token-stream rules.
 pub mod stream;
 
 use crate::lexer::TokenKind;
@@ -28,9 +28,9 @@ use crate::report::Diagnostic;
 pub use stream::collect_report_fns;
 
 /// All stable rule IDs, in catalog order.
-pub const RULE_IDS: [&str; 19] = [
+pub const RULE_IDS: [&str; 20] = [
     "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
-    "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019",
+    "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019", "BX020",
 ];
 
 /// Rationale and fix recipe for one rule, rendered by
@@ -47,7 +47,7 @@ pub struct RuleDoc {
 }
 
 /// The full rule documentation table.
-pub const RULE_DOCS: [RuleDoc; 19] = [
+pub const RULE_DOCS: [RuleDoc; 20] = [
     RuleDoc {
         id: "BX001",
         title: "pager I/O (`read/write/alloc/free`) only in designated I/O modules",
@@ -242,6 +242,21 @@ pub const RULE_DOCS: [RuleDoc; 19] = [
         fix: "Use Ordering::SeqCst. If a profile shows the fence matters, weaken it \
               behind a justified [[allow]] citing the measurement.",
     },
+    RuleDoc {
+        id: "BX020",
+        title: "durable-file discipline: raw file writes only in blessed store modules; \
+                `fs::rename` publishes fsync first",
+        rationale: "The crash matrix proves durability only for bytes that flow through \
+                    `FileStore`/`FileLogStore` — a raw `write_all`/`write_at` elsewhere is \
+                    durable state the kill sweep never tears and the fsync poisoning rules \
+                    never guard. And a rename that publishes an unsynced file is the \
+                    classic atomic-replace bug: after power loss the new name can point at \
+                    torn or empty bytes.",
+        fix: "Route data through `FileStore`/`LogStore` (policy-allowed via \
+              [rules.BX020] allow_paths for the store modules themselves). For a \
+              durable replace, call `sync_all`/`sync_data` on the replacement (and \
+              sync the directory) before `fs::rename`, as `FileLogStore::rotate` does.",
+    },
 ];
 
 /// Look up a rule's documentation by ID.
@@ -249,7 +264,7 @@ pub fn rule_doc(id: &str) -> Option<&'static RuleDoc> {
     RULE_DOCS.iter().find(|d| d.id.eq_ignore_ascii_case(id))
 }
 
-/// Run the token-stream rules (BX001–BX009) against one file.
+/// Run the token-stream rules (BX001–BX009, BX020) against one file.
 pub fn run_all(
     file: &SourceFile,
     must_use_fns: &std::collections::BTreeSet<String>,

@@ -1,4 +1,4 @@
-//! The token-stream rule family (BX001–BX009).
+//! The token-stream rule family (BX001–BX009, BX020).
 //!
 //! Every rule here is a pure function over one [`SourceFile`] — no types,
 //! no cross-file knowledge (the call-graph family lives in
@@ -17,6 +17,7 @@
 //! | BX007 | no wall-clock time (`std::time`) in library code — determinism   |
 //! | BX008 | pager/WAL I/O `Result`s are handled, never `let _ =` / `.ok();`  |
 //! | BX009 | trace spans are bound to named locals, never dropped or leaked   |
+//! | BX020 | raw file writes only in blessed store modules; renames fsync first |
 
 use std::collections::BTreeSet;
 
@@ -45,6 +46,7 @@ pub fn run_all(file: &SourceFile, must_use_fns: &BTreeSet<String>, out: &mut Vec
     bx007_wall_clock(file, out);
     bx008_io_result_discipline(file, out);
     bx009_span_discipline(file, out);
+    bx020_durable_file_discipline(file, out);
 }
 
 /// Collect the names of functions in `file` that return one of the
@@ -603,6 +605,86 @@ fn bx009_span_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Raw `File` write methods that bypass the accounted store layer (BX020).
+/// `std::fs::write` itself is already caught by BX002's `std::fs` ban.
+const RAW_WRITE_METHODS: [&str; 3] = ["write_all", "write_at", "write_all_at"];
+
+/// Fsync spellings that make a just-written replacement file durable:
+/// `File::sync_all`/`sync_data` and the `LogStore::sync` seam.
+const SYNC_METHODS: [&str; 3] = ["sync_all", "sync_data", "sync"];
+
+/// BX020: durable-file discipline, two halves of the same invariant.
+///
+/// *Raw writes*: `.write_all(…)` / `.write_at(…)` / `.write_all_at(…)` on a
+/// file handle may only appear in the blessed store modules
+/// (`FileStore`, `FileLogStore`, the fault-injection VFS — via
+/// `allow_paths`). Anywhere else they are durable bytes the crash matrix
+/// never tears and the fsync poisoning rules never see.
+///
+/// *Durable renames*: a `fs::rename` publish must be preceded by an fsync
+/// (`sync_all`/`sync_data`/`sync`) somewhere earlier in the same function.
+/// Renaming a file whose bytes were never synced can publish a torn or
+/// empty file after power loss — the classic atomic-replace bug.
+fn bx020_durable_file_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for si in 0..file.slen() {
+        if file.in_test[si] {
+            continue;
+        }
+        let name = file.stext(si);
+        if file.stok(si).map(|t| t.kind) != Some(TokenKind::Ident) || file.stext(si + 1) != "(" {
+            continue;
+        }
+        if RAW_WRITE_METHODS.contains(&name) && si >= 1 && file.stext(si - 1) == "." {
+            push(
+                file,
+                si,
+                "BX020",
+                format!(
+                    "raw file write `.{name}(…)` outside the blessed store modules — \
+                     durable bytes must flow through `FileStore`/`LogStore` so the \
+                     crash matrix and fsync semantics cover them"
+                ),
+                out,
+            );
+            continue;
+        }
+        if name == "rename"
+            && preceded_by_path_sep(file, si)
+            && si >= 3
+            && is_ident(file, si - 3, "fs")
+            && !rename_preceded_by_sync(file, si)
+        {
+            push(
+                file,
+                si,
+                "BX020",
+                "`fs::rename` with no fsync earlier in the same function — renaming \
+                 an unsynced file can publish torn bytes after power loss; sync the \
+                 replacement (then the directory) before the rename"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Scan from the enclosing `fn` keyword to the `fs::rename` call at `si`
+/// for a sync call (one of [`SYNC_METHODS`] followed by `(`). No enclosing
+/// `fn` (e.g. a rename in a const initializer) counts as unsynced.
+fn rename_preceded_by_sync(file: &SourceFile, si: usize) -> bool {
+    let Some(fn_si) = (0..si)
+        .rev()
+        .find(|&j| file.stext(j) == "fn" && file.item_ctx[j].is_some())
+    else {
+        return false;
+    };
+    (fn_si..si).any(|j| {
+        SYNC_METHODS.contains(&file.stext(j))
+            && file.stok(j).is_some_and(|t| t.kind == TokenKind::Ident)
+            && file.stext(j + 1) == "("
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -746,6 +828,50 @@ mod tests {
              }",
         );
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bx020_fires_on_raw_writes_and_unsynced_renames() {
+        let diags = lint(
+            "fn publish(f: &mut File) -> std::io::Result<()> {\n\
+               f.write_all(&buf)?;\n\
+               f.write_all_at(&buf, 0)?;\n\
+               fs::rename(tmp, live)?;\n\
+               Ok(())\n\
+             }",
+        );
+        let bx020: Vec<_> = diags.iter().filter(|d| d.rule == "BX020").collect();
+        assert_eq!(bx020.len(), 3, "{diags:?}");
+        assert!(bx020[0].message.contains("write_all"));
+        assert!(bx020[2].message.contains("fs::rename"));
+    }
+
+    #[test]
+    fn bx020_skips_synced_renames_and_store_reads() {
+        // The durable-replace idiom: sync the replacement, then rename.
+        let diags = lint(
+            "fn publish(tmp_file: &File) -> std::io::Result<()> {\n\
+               tmp_file.sync_all()?;\n\
+               fs::rename(tmp, live)?;\n\
+               Ok(())\n\
+             }\n\
+             fn log_publish(store: &dyn LogStore) -> Result<(), StoreError> {\n\
+               store.sync()?;\n\
+               fs::rename(a, b)?;\n\
+               Ok(())\n\
+             }",
+        );
+        let bx020: Vec<_> = diags.iter().filter(|d| d.rule == "BX020").collect();
+        assert!(bx020.is_empty(), "{bx020:?}");
+        // A sync in a *previous* function does not bless this rename.
+        let diags = lint(
+            "fn a(f: &File) { f.sync_all(); }\n\
+             fn b() { fs::rename(x, y); }",
+        );
+        assert!(
+            diags.iter().any(|d| d.rule == "BX020"),
+            "sync in another fn must not carry over: {diags:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! BX020 bad: raw file writes outside the blessed store modules, and a
+//! rename that publishes a replacement file nothing ever fsynced.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+
+/// Side-channel durability: bytes written straight through a raw handle
+/// never pass the accounted `FileStore`/`LogStore` layer, so the crash
+/// matrix cannot tear them and the fsync poisoning rules never see them.
+pub fn side_channel(file: &mut File, buf: &[u8]) -> std::io::Result<()> {
+    file.write_all(buf)?;
+    file.write_all_at(buf, 0)?;
+    Ok(())
+}
+
+/// The classic atomic-replace bug: the replacement file's bytes were never
+/// synced, so after power loss the live name can point at torn data.
+pub fn publish(tmp: &str, live: &str) -> std::io::Result<()> {
+    fs::rename(tmp, live)?;
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! BX020 clean: the durable-replace idiom syncs the replacement before
+//! renaming it over the live file, and raw writes appear only in tests.
+
+use std::fs::{self, File};
+
+/// Durable replace: fsync the replacement, then publish it atomically.
+pub fn publish(tmp_file: &File, tmp: &str, live: &str) -> std::io::Result<()> {
+    tmp_file.sync_all()?;
+    fs::rename(tmp, live)?;
+    Ok(())
+}
+
+/// The same discipline through the log-store seam: `sync()` is the fsync.
+pub fn rotate(tmp_file: &File, tmp: &str, live: &str) -> std::io::Result<()> {
+    tmp_file.sync_data()?;
+    fs::rename(tmp, live)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Write;
+
+    #[test]
+    fn scratch_writes_are_fine_in_tests() {
+        let mut f = std::fs::File::create("/tmp/scratch").unwrap();
+        f.write_all(b"test-only bytes").unwrap();
+    }
+}

@@ -1,4 +1,4 @@
-//! Fixture-driven proof that every rule in the BX001–BX019 catalog fires on
+//! Fixture-driven proof that every rule in the BX001–BX020 catalog fires on
 //! a known-bad snippet and stays quiet on its known-clean counterpart, plus
 //! the stale-suppression negative controls (stream, graph, and lock tiers,
 //! including the BX018 `[[ratchet]]` table).
@@ -22,7 +22,7 @@ fn lint_fixture(name: &str) -> Vec<&'static str> {
 fn every_rule_fires_on_its_bad_fixture() {
     for rule in [
         "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
-        "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019",
+        "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019", "BX020",
     ] {
         let fired = lint_fixture(&format!("{}_bad", rule.to_lowercase()));
         assert!(
@@ -36,7 +36,7 @@ fn every_rule_fires_on_its_bad_fixture() {
 fn no_rule_fires_on_its_clean_fixture() {
     for rule in [
         "BX001", "BX002", "BX003", "BX004", "BX005", "BX006", "BX007", "BX008", "BX009", "BX010",
-        "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019",
+        "BX011", "BX012", "BX013", "BX014", "BX015", "BX016", "BX017", "BX018", "BX019", "BX020",
     ] {
         let fired = lint_fixture(&format!("{}_clean", rule.to_lowercase()));
         assert!(
@@ -70,6 +70,7 @@ fn bad_fixture_counts_are_pinned() {
         ("bx017_bad", "BX017", 2),
         ("bx018_bad", "BX018", 5),
         ("bx019_bad", "BX019", 2),
+        ("bx020_bad", "BX020", 3),
     ];
     for (fixture, rule, want) in cases {
         let fired = lint_fixture(fixture);

@@ -39,6 +39,7 @@ mod biglabel;
 pub use biglabel::BigLabel;
 
 use boxes_lidf::Lid;
+use boxes_pager::codec::{u32_to_usize, u64_to_index, usize_to_u64};
 use boxes_pager::{BlockId, SharedPager};
 use boxes_trace::OpSpan;
 use std::collections::BTreeMap;
@@ -57,7 +58,7 @@ impl NaiveConfig {
 
     /// Bytes per stored label: room for ⌈log N⌉ + k bits (40 + k budget).
     fn label_bytes(&self) -> usize {
-        ((40 + self.extra_bits) as usize).div_ceil(8)
+        u32_to_usize(40 + self.extra_bits).div_ceil(8)
     }
 }
 
@@ -198,8 +199,9 @@ impl NaiveLabeling {
 
     fn locate(&self, lid: Lid) -> (BlockId, usize) {
         assert!(lid.0 < self.slots, "LID out of range: {lid:?}");
-        let block = self.blocks[(lid.0 / self.recs_per_block as u64) as usize];
-        let offset = (lid.0 % self.recs_per_block as u64) as usize * self.rec_bytes;
+        let rpb = usize_to_u64(self.recs_per_block);
+        let block = self.blocks[u64_to_index(lid.0 / rpb)];
+        let offset = u64_to_index(lid.0 % rpb) * self.rec_bytes;
         (block, offset)
     }
 
@@ -235,7 +237,7 @@ impl NaiveLabeling {
             return Lid(slot);
         }
         let lid = Lid(self.slots);
-        if (self.slots).is_multiple_of(self.recs_per_block as u64) {
+        if (self.slots).is_multiple_of(usize_to_u64(self.recs_per_block)) {
             self.blocks.push(self.pager.alloc());
         }
         self.slots += 1;
@@ -264,13 +266,13 @@ impl NaiveLabeling {
         while i < count {
             let block = {
                 let lid = Lid(self.slots);
-                if lid.0.is_multiple_of(self.recs_per_block as u64) {
+                if lid.0.is_multiple_of(usize_to_u64(self.recs_per_block)) {
                     self.blocks.push(self.pager.alloc());
                 }
                 *self.blocks.last().expect("block exists")
             };
             let mut buf = self.pager.read(block);
-            let mut slot = (self.slots % self.recs_per_block as u64) as usize;
+            let mut slot = u64_to_index(self.slots % usize_to_u64(self.recs_per_block));
             while slot < self.recs_per_block && i < count {
                 label = label.add(gap);
                 self.encode_at(&mut buf, slot * self.rec_bytes, label, gap);
@@ -391,31 +393,36 @@ impl NaiveLabeling {
             .mirror
             .values()
             .enumerate()
-            .map(|(rank, &lid)| (lid.0, rank as u64))
+            .map(|(rank, &lid)| (lid.0, usize_to_u64(rank)))
             .collect();
         by_slot.sort_unstable();
-        let rpb = self.recs_per_block as u64;
+        let rpb = usize_to_u64(self.recs_per_block);
         let mut i = 0usize;
         while i < by_slot.len() {
-            let bi = (by_slot[i].0 / rpb) as usize;
+            let bi = u64_to_index(by_slot[i].0 / rpb);
             let block = self.blocks[bi];
             let mut buf = self.pager.read(block);
-            while i < by_slot.len() && (by_slot[i].0 / rpb) as usize == bi {
+            while i < by_slot.len() && u64_to_index(by_slot[i].0 / rpb) == bi {
                 let (slot, rank) = by_slot[i];
                 let label = gap.mul_u64(rank + 1);
-                self.encode_at(&mut buf, (slot % rpb) as usize * self.rec_bytes, label, gap);
+                self.encode_at(
+                    &mut buf,
+                    u64_to_index(slot % rpb) * self.rec_bytes,
+                    label,
+                    gap,
+                );
                 i += 1;
             }
             self.pager.write(block, &buf);
         }
-        let n = self.mirror.len() as u64;
+        let n = usize_to_u64(self.mirror.len());
         // Keys are reassigned in place; order is unchanged, so the rebuild
         // collects from an already-sorted iterator (bulk build).
         self.mirror = self
             .mirror
             .values()
             .enumerate()
-            .map(|(i, &lid)| (gap.mul_u64(i as u64 + 1), lid))
+            .map(|(i, &lid)| (gap.mul_u64(usize_to_u64(i) + 1), lid))
             .collect();
         self.note_max(gap.mul_u64(n));
     }
@@ -427,7 +434,7 @@ impl NaiveLabeling {
 
     /// Number of live labels.
     pub fn len(&self) -> u64 {
-        self.mirror.len() as u64
+        usize_to_u64(self.mirror.len())
     }
 
     /// Whether the scheme holds no labels.

@@ -6,7 +6,8 @@
 //! the serialization code in the data-structure crates short and uniform.
 //!
 //! The conversion helpers ([`u32_to_usize`], [`usize_to_u64`],
-//! [`u64_to_index`], [`usize_to_u32`], [`usize_to_u16`]) exist so that
+//! [`usize_to_i64`], [`u64_to_index`], [`usize_to_u32`], [`usize_to_u16`])
+//! exist so that
 //! label/offset arithmetic never goes through a bare `as` cast: the paper's
 //! label-size guarantees (Thm 4.4 / Thm 5.1) are stated in exact bit
 //! widths, and a silent truncation would void them. Widening directions are
@@ -151,6 +152,16 @@ pub fn u32_to_usize(v: u32) -> usize {
 pub fn usize_to_u64(v: usize) -> u64 {
     const { assert!(usize::BITS <= 64) };
     u64::try_from(v).unwrap_or(u64::MAX) // unreachable under the guard
+}
+
+/// Widen a `usize` count into the signed `i64` delta domain of the effect
+/// algebra, saturating at `i64::MAX`. Counts cannot reach 2^63 here (label
+/// widths overflow long before), and saturation can only trip a length
+/// assertion — unlike `as i64`, which would silently flip the delta's sign.
+#[inline]
+#[must_use]
+pub fn usize_to_i64(v: usize) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
 }
 
 /// Narrow a `u64` quantity to a `usize` index, saturating on overflow.

@@ -20,10 +20,11 @@
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::codec;
+use crate::vfs::RawFile;
+use crate::{DiskBlock, DiskImage};
 
 /// Magic bytes opening every pager file (versioned).
 pub const FILE_MAGIC: [u8; 8] = *b"BOXPGR01";
@@ -110,14 +111,16 @@ pub(crate) struct FileStore {
 impl FileStore {
     /// Create (or truncate) the backing file and write its header.
     pub fn create(path: &Path, block_size: usize) -> Result<Self, FileError> {
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        file.write_all(&FILE_MAGIC)?;
-        file.write_all(&codec::usize_to_u64(block_size).to_le_bytes())?;
+        let mut header = [0u8; 16];
+        header[..8].copy_from_slice(&FILE_MAGIC);
+        header[8..].copy_from_slice(&codec::usize_to_u64(block_size).to_le_bytes());
+        file.write_all_at(&header, 0)?;
         Ok(FileStore {
             file,
             block_size,
@@ -128,27 +131,8 @@ impl FileStore {
     /// Reopen an existing pager file, validating the header and rebuilding
     /// the allocation bitmap from the per-slot trailer flags.
     pub fn open(path: &Path, block_size: usize) -> Result<Self, FileError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let file_len = file.metadata()?.len();
-        if file_len < HEADER_SIZE {
-            return Err(FileError::BadHeader(format!(
-                "file is {file_len} bytes, smaller than the {HEADER_SIZE}-byte header"
-            )));
-        }
-        let mut magic = [0u8; 8];
-        file.read_exact(&mut magic)?;
-        if magic != FILE_MAGIC {
-            return Err(FileError::BadHeader("magic bytes do not match".into()));
-        }
-        let mut bs_bytes = [0u8; 8];
-        file.read_exact(&mut bs_bytes)?;
-        let file_bs = u64::from_le_bytes(bs_bytes);
-        if file_bs != codec::usize_to_u64(block_size) {
-            return Err(FileError::BlockSizeMismatch {
-                file: file_bs,
-                requested: block_size,
-            });
-        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = read_header(&file, block_size)?;
         let slot = codec::usize_to_u64(block_size + TRAILER_SIZE);
         let payload = file_len - HEADER_SIZE;
         let slots = codec::u64_to_index(payload / slot);
@@ -202,35 +186,39 @@ impl FileStore {
                 .saturating_mul(codec::usize_to_u64(self.block_size + TRAILER_SIZE))
     }
 
-    fn seek_to(&mut self, idx: usize) -> Result<(), FileError> {
-        let offset = self.slot_offset(idx);
-        self.file.seek(SeekFrom::Start(offset))?;
-        Ok(())
-    }
-
     fn write_slot(&mut self, idx: usize, data: &[u8], alloc: bool) -> Result<(), FileError> {
-        self.seek_to(idx)?;
-        self.file.write_all(data)?;
+        let offset = self.slot_offset(idx);
+        self.file.write_all_at(data, offset)?;
         let mut trailer = [0u8; TRAILER_SIZE];
         trailer[..4].copy_from_slice(&codec::crc32(data).to_le_bytes());
         trailer[4] = u8::from(alloc);
-        self.file.write_all(&trailer)?;
+        self.file
+            .write_all_at(&trailer, offset + codec::usize_to_u64(data.len()))?;
         Ok(())
     }
 
-    fn read_trailer(&mut self, idx: usize) -> Result<(u32, u8), FileError> {
+    fn read_trailer(&self, idx: usize) -> Result<(u32, u8), FileError> {
         let offset = self.slot_offset(idx) + codec::usize_to_u64(self.block_size);
-        self.file.seek(SeekFrom::Start(offset))?;
         let mut trailer = [0u8; TRAILER_SIZE];
-        self.read_exact_or_short(idx, &mut trailer)?;
+        self.read_exact_or_short(idx, &mut trailer, offset)?;
         let crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
         Ok((crc, trailer[4]))
     }
 
-    fn read_exact_or_short(&mut self, idx: usize, buf: &mut [u8]) -> Result<(), FileError> {
+    /// Positioned exact read of `buf` at `offset`, typing a premature end
+    /// of file as [`FileError::ShortBlock`] for slot `idx`. Positioned I/O
+    /// keeps concurrent snapshot readers off a shared cursor.
+    fn read_exact_or_short(
+        &self,
+        idx: usize,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> Result<(), FileError> {
         let mut filled = 0;
         while filled < buf.len() {
-            let n = self.file.read(&mut buf[filled..])?;
+            let n = self
+                .file
+                .read_at(&mut buf[filled..], offset + codec::usize_to_u64(filled))?;
             if n == 0 {
                 return Err(FileError::ShortBlock {
                     index: idx,
@@ -266,22 +254,18 @@ impl FileStore {
     pub fn deallocate(&mut self, idx: usize) {
         self.allocated[idx] = false;
         let offset = self.slot_offset(idx) + codec::usize_to_u64(self.block_size);
-        let mut dealloc = || -> Result<(), FileError> {
-            self.file.seek(SeekFrom::Start(offset))?;
-            self.file.write_all(&[0u8; TRAILER_SIZE])?;
-            Ok(())
-        };
-        dealloc().unwrap_or_else(|e| panic!("pager file deallocate failed: {e}"));
+        self.file
+            .write_all_at(&[0u8; TRAILER_SIZE], offset)
+            .unwrap_or_else(|e| panic!("pager file deallocate failed: {e}"));
     }
 
     /// Read and checksum-verify the block at slot `idx`.
-    pub fn read(&mut self, idx: usize, block_size: usize) -> Result<Box<[u8]>, FileError> {
+    pub fn read(&self, idx: usize, block_size: usize) -> Result<Box<[u8]>, FileError> {
         if !self.is_allocated(idx) {
             return Err(FileError::Unallocated(idx));
         }
         let mut buf = vec![0u8; block_size];
-        self.seek_to(idx)?;
-        self.read_exact_or_short(idx, &mut buf)?;
+        self.read_exact_or_short(idx, &mut buf, self.slot_offset(idx))?;
         let (crc, _) = self.read_trailer(idx)?;
         if codec::crc32(&buf) != crc {
             return Err(FileError::Checksum(idx));
@@ -304,27 +288,109 @@ impl FileStore {
         if !self.is_allocated(idx) {
             return Err(FileError::Unallocated(idx));
         }
-        self.seek_to(idx)?;
-        self.file.write_all(prefix)?;
+        self.file.write_all_at(prefix, self.slot_offset(idx))?;
         Ok(())
     }
 
     /// Raw block bytes plus the *stored* checksum, without verification —
     /// for crash-recovery inspection of possibly-torn slots.
-    pub fn raw(&mut self, idx: usize, block_size: usize) -> Option<(Box<[u8]>, u32)> {
+    pub fn raw(&self, idx: usize, block_size: usize) -> Option<(Box<[u8]>, u32)> {
         if !self.is_allocated(idx) {
             return None;
         }
         let mut buf = vec![0u8; block_size];
-        if self.seek_to(idx).is_err() {
-            return None;
-        }
-        if self.read_exact_or_short(idx, &mut buf).is_err() {
+        if self
+            .read_exact_or_short(idx, &mut buf, self.slot_offset(idx))
+            .is_err()
+        {
             return None;
         }
         let (crc, _) = self.read_trailer(idx).ok()?;
         Some((buf.into_boxed_slice(), crc))
     }
+}
+
+/// Validate the 16-byte header of the pager file behind `file` against the
+/// caller's `block_size`; returns the file length.
+fn read_header(file: &File, block_size: usize) -> Result<u64, FileError> {
+    let file_len = file.file_len()?;
+    if file_len < HEADER_SIZE {
+        return Err(FileError::BadHeader(format!(
+            "file is {file_len} bytes, smaller than the {HEADER_SIZE}-byte header"
+        )));
+    }
+    let mut header = [0u8; 16];
+    RawFile::read_exact_at(file, &mut header, 0)?;
+    if header[..8] != FILE_MAGIC {
+        return Err(FileError::BadHeader("magic bytes do not match".into()));
+    }
+    let file_bs = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
+    if file_bs != codec::usize_to_u64(block_size) {
+        return Err(FileError::BlockSizeMismatch {
+            file: file_bs,
+            requested: block_size,
+        });
+    }
+    Ok(file_len)
+}
+
+/// Crash-tolerant scan of a pager file into a [`DiskImage`]: the
+/// post-mortem counterpart of [`FileStore::open`]. Where `open` rejects a
+/// trailing partial slot (a reopen wants a well-formed file), this scan
+/// *expects* process death mid-write and classifies instead of rejecting:
+///
+/// - full slots with a live trailer flag become blocks carrying their
+///   *stored* checksum (possibly stale — a torn page recovery must repair
+///   from the log);
+/// - full slots with a zero flag are holes;
+/// - a trailing partial slot (the write the crash interrupted) becomes a
+///   zero-padded block with its surviving trailer prefix, so its stale
+///   checksum flags it torn rather than silently decoding.
+///
+/// WAL recovery then either redoes a committed record over each torn slot
+/// or truncates it away as an uncommitted eager allocation; a torn slot
+/// with neither cover fails recovery loudly.
+pub fn recover_image(path: &Path, block_size: usize) -> Result<DiskImage, FileError> {
+    let file = OpenOptions::new().read(true).open(path)?;
+    let file_len = read_header(&file, block_size)?;
+    let slot = codec::usize_to_u64(block_size + TRAILER_SIZE);
+    let payload = file_len - HEADER_SIZE;
+    let slots = codec::u64_to_index(payload / slot);
+    let rem = codec::u64_to_index(payload % slot);
+    let mut blocks = Vec::with_capacity(slots + usize::from(rem > 0));
+    let mut buf = vec![0u8; block_size + TRAILER_SIZE];
+    for idx in 0..slots {
+        let offset = HEADER_SIZE + codec::usize_to_u64(idx) * slot;
+        RawFile::read_exact_at(&file, &mut buf, offset)?;
+        let (data, trailer) = buf.split_at(block_size);
+        let crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        if trailer[4] == 0 {
+            blocks.push(None);
+        } else {
+            blocks.push(Some(DiskBlock {
+                data: data.to_vec().into_boxed_slice(),
+                crc,
+            }));
+        }
+    }
+    if rem > 0 {
+        // The interrupted final write: keep whatever prefix landed, padded
+        // with zeros. Missing trailer bytes read as zero, so a slot whose
+        // trailer never landed carries a zero (stale) checksum.
+        let offset = HEADER_SIZE + codec::usize_to_u64(slots) * slot;
+        let mut partial = vec![0u8; block_size + TRAILER_SIZE];
+        RawFile::read_exact_at(&file, &mut partial[..rem], offset)?;
+        let (data, trailer) = partial.split_at(block_size);
+        let crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        blocks.push(Some(DiskBlock {
+            data: data.to_vec().into_boxed_slice(),
+            crc,
+        }));
+    }
+    Ok(DiskImage { block_size, blocks })
 }
 
 #[cfg(test)]
@@ -417,7 +483,7 @@ mod tests {
             store.deallocate(1);
         }
         {
-            let mut store = FileStore::open(&path, 64).expect("reopen");
+            let store = FileStore::open(&path, 64).expect("reopen");
             assert_eq!(store.len(), 3);
             assert!(store.is_allocated(0));
             assert!(!store.is_allocated(1), "hole survives reopen");

@@ -37,12 +37,16 @@ pub mod fault;
 mod file;
 mod pool;
 mod stats;
+/// The raw-file surface beneath the file backends, plus the fault-wrapping
+/// handle that injects disk failures below the file layer.
+pub mod vfs;
 
 pub use codec::{crc32, Reader, VecWriter, Writer};
 pub use fault::{splitmix64, FaultEvent, FaultPlan, FaultPlanConfig, FaultSite, ReadFault};
-pub use file::FileError;
+pub use file::{recover_image, FileError};
 pub use pool::PoolStats;
 pub use stats::IoStats;
+pub use vfs::{sector_floor, FaultFile, FileFaultPlan, RawFile, SECTOR_SIZE};
 
 use boxes_trace::{record as trace_record, Counter as TraceCounter};
 use pool::BufferPool;
@@ -162,15 +166,37 @@ pub struct TxnRecord {
     pub metas: Vec<(String, Vec<u8>)>,
 }
 
+/// Durability outcome of a [`Journal::commit`] or [`Journal::barrier`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalAck {
+    /// The record and every earlier one reached stable storage — the
+    /// pager may apply buffered after-images to the backend.
+    Durable,
+    /// Group commit: the record is logged but its durability barrier is
+    /// deferred. The pager parks the after-images in the volatile overlay.
+    Deferred,
+    /// The log's unsynced tail is **gone** — a durability operation (an
+    /// append or an fsync) failed, and fsyncgate semantics forbid
+    /// retrying: after a failed fsync the dirty-page state is unknowable,
+    /// so the journal poisons its pending window and reports every
+    /// affected record as lost. The pager must treat this as
+    /// [`DegradedReason::JournalFault`]: park the frames (reads stay
+    /// correct in-process), reject mutations, and *never* apply unlogged
+    /// after-images to the backend.
+    Lost,
+}
+
 /// Write-ahead journal hook. Implemented by `boxes-wal`; the pager only
 /// knows the protocol: log first, then apply. `Send + Sync` so a journaled
 /// pager can be shared across threads behind [`SharedPager`].
 pub trait Journal: Send + Sync {
-    /// Persist `record` ahead of any backend write. Returns `true` when the
-    /// record (and every earlier one) reached durable storage — the pager
-    /// then applies all buffered after-images to the backend. Returning
-    /// `false` (group commit) defers both the sync and the apply.
-    fn commit(&self, record: &TxnRecord) -> bool;
+    /// Persist `record` ahead of any backend write. Returns
+    /// [`JournalAck::Durable`] when the record (and every earlier one)
+    /// reached durable storage — the pager then applies all buffered
+    /// after-images to the backend. [`JournalAck::Deferred`] (group
+    /// commit) defers both the sync and the apply;
+    /// [`JournalAck::Lost`] reports a poisoned log tail.
+    fn commit(&self, record: &TxnRecord) -> JournalAck;
 
     /// Called after the pager finished applying every record covered by the
     /// last durable commit — the journal's checkpoint opportunity.
@@ -186,12 +212,23 @@ pub trait Journal: Send + Sync {
 
     /// Force a durability barrier *now*: promote every pending (committed
     /// but unsynced) record to durable storage as if the group-commit
-    /// window had closed. Returns `true` when the whole log tail is
-    /// durable afterwards. The pager calls this from
+    /// window had closed. Returns [`JournalAck::Durable`] when the whole
+    /// log tail is durable afterwards, [`JournalAck::Lost`] when the
+    /// fsync failed and the tail is poisoned. The pager calls this from
     /// [`Pager::publish_barrier`] before applying the overlay, so the
-    /// log-first protocol is preserved; the default is `true` because a
-    /// journal without a volatile tail is always at a barrier.
-    fn barrier(&self) -> bool {
+    /// log-first protocol is preserved; the default is `Durable` because
+    /// a journal without a volatile tail is always at a barrier.
+    fn barrier(&self) -> JournalAck {
+        JournalAck::Durable
+    }
+
+    /// Whether the journal can still make records durable. `false` after
+    /// a poisoned durability failure ([`JournalAck::Lost`]): the log's
+    /// committed prefix is intact but nothing new will ever sync, so
+    /// [`Pager::try_resume`] must refuse to re-apply parked frames — the
+    /// only way forward is recovery from the durable prefix. Defaults to
+    /// `true` for journals that cannot fail.
+    fn healthy(&self) -> bool {
         true
     }
 }
@@ -261,6 +298,12 @@ pub enum DegradedReason {
         /// The block that could not be repaired.
         block: BlockId,
     },
+    /// The journal reported [`JournalAck::Lost`]: a durability operation
+    /// (append or fsync) failed and the log's pending window is poisoned.
+    /// The lost records' frames are parked in the overlay so in-process
+    /// reads stay correct, but they will never be durable — recovery from
+    /// the log's intact committed prefix is the only path forward.
+    JournalFault,
 }
 
 impl std::fmt::Display for DegradedReason {
@@ -271,6 +314,13 @@ impl std::fmt::Display for DegradedReason {
             }
             DegradedReason::Unrepairable { block } => {
                 write!(f, "{block:?} is corrupt and not repairable from the log")
+            }
+            DegradedReason::JournalFault => {
+                write!(
+                    f,
+                    "the journal lost its unsynced tail (failed durability \
+                     barrier); reopen from the durable log prefix"
+                )
             }
         }
     }
@@ -532,6 +582,21 @@ impl DiskBlock {
     }
 }
 
+/// Outcome of one [`Pager::scrub_step`] increment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Backend slots examined (allocated or holes).
+    pub scanned: usize,
+    /// Blocks whose stale checksum was repaired from the journal.
+    pub repaired: usize,
+    /// Blocks with a stale checksum and no repair source — the pager is
+    /// now degraded ([`DegradedReason::Unrepairable`]).
+    pub failed: Vec<BlockId>,
+    /// Whether the cursor wrapped past the end of the store during this
+    /// step (a full incremental pass has completed).
+    pub wrapped: bool,
+}
+
 struct PagerInner {
     backend: Backend,
     free: Vec<u32>,
@@ -545,6 +610,8 @@ struct PagerInner {
     degraded: Option<DegradedReason>,
     degraded_entries: u64,
     snap: SnapState,
+    /// Next backend slot the incremental scrubber will examine.
+    scrub_cursor: usize,
 }
 
 /// One in-memory block plus its page checksum. The checksum is recomputed on
@@ -781,6 +848,7 @@ impl Pager {
                 degraded: None,
                 degraded_entries: 0,
                 snap: SnapState::default(),
+                scrub_cursor: 0,
             }),
             view: None,
         })
@@ -810,6 +878,7 @@ impl Pager {
                 degraded: None,
                 degraded_entries: 0,
                 snap: SnapState::default(),
+                scrub_cursor: 0,
             }),
             view: None,
         })
@@ -927,43 +996,65 @@ impl Pager {
             let record = Self::drain_txn(&mut inner);
             (journal, record)
         };
-        let synced = journal.commit(&record);
+        let ack = journal.commit(&record);
         let applied_ok = {
             let mut inner = self.lock();
-            if synced {
-                // Merge the overlay (older) with this record (newer) into a
-                // single apply batch so one backend pass either drains
-                // everything or parks the unapplied remainder atomically.
-                let overlay = std::mem::take(&mut inner.overlay);
-                let mut frames = overlay.frames;
-                let mut freed = overlay.freed;
-                for frame in record.frames {
-                    frames.insert(frame.block.0, frame.after);
+            match ack {
+                JournalAck::Durable => {
+                    // Merge the overlay (older) with this record (newer)
+                    // into a single apply batch so one backend pass either
+                    // drains everything or parks the unapplied remainder
+                    // atomically.
+                    let overlay = std::mem::take(&mut inner.overlay);
+                    let mut frames = overlay.frames;
+                    let mut freed = overlay.freed;
+                    for frame in record.frames {
+                        frames.insert(frame.block.0, frame.after);
+                    }
+                    freed.extend(record.freed);
+                    let ok = Self::apply_frames(&mut inner, frames, freed, self.block_size).is_ok();
+                    if ok {
+                        // Group-commit boundary: log durable, frames applied —
+                        // publish a fresh snapshot epoch carrying every staged
+                        // meta blob plus this record's.
+                        Self::publish_epoch(&mut inner, record.metas);
+                    } else {
+                        // The apply parked frames in the overlay (degraded);
+                        // the metas stay pending and publish with the frames
+                        // when try_resume re-applies them.
+                        Self::stage_pending_metas(&mut inner, record.metas);
+                    }
+                    ok
                 }
-                freed.extend(record.freed);
-                let ok = Self::apply_frames(&mut inner, frames, freed, self.block_size).is_ok();
-                if ok {
-                    // Group-commit boundary: log durable, frames applied —
-                    // publish a fresh snapshot epoch carrying every staged
-                    // meta blob plus this record's.
-                    Self::publish_epoch(&mut inner, record.metas);
-                } else {
-                    // The apply parked frames in the overlay (degraded);
-                    // the metas stay pending and publish with the frames
-                    // when try_resume re-applies them.
+                JournalAck::Deferred => {
+                    for frame in record.frames {
+                        inner.overlay.frames.insert(frame.block.0, frame.after);
+                    }
+                    for id in record.freed {
+                        inner.overlay.frames.remove(&id.0);
+                        inner.overlay.freed.push(id);
+                    }
                     Self::stage_pending_metas(&mut inner, record.metas);
+                    false
                 }
-                ok
-            } else {
-                for frame in record.frames {
-                    inner.overlay.frames.insert(frame.block.0, frame.after);
+                JournalAck::Lost => {
+                    // fsyncgate: the log tail (this record and any earlier
+                    // deferred ones) will never be durable. The frames are
+                    // parked so in-process reads stay correct, but the
+                    // backend must never see these unlogged after-images —
+                    // the pager degrades and `try_resume` refuses while
+                    // the journal reports unhealthy.
+                    for frame in record.frames {
+                        inner.overlay.frames.insert(frame.block.0, frame.after);
+                    }
+                    for id in record.freed {
+                        inner.overlay.frames.remove(&id.0);
+                        inner.overlay.freed.push(id);
+                    }
+                    Self::stage_pending_metas(&mut inner, record.metas);
+                    Self::enter_degraded(&mut inner, DegradedReason::JournalFault);
+                    false
                 }
-                for id in record.freed {
-                    inner.overlay.frames.remove(&id.0);
-                    inner.overlay.freed.push(id);
-                }
-                Self::stage_pending_metas(&mut inner, record.metas);
-                false
             }
         };
         if applied_ok {
@@ -1308,6 +1399,7 @@ impl Pager {
                 degraded: None,
                 degraded_entries: 0,
                 snap: SnapState::default(),
+                scrub_cursor: 0,
             }),
             view: None,
         }))
@@ -1663,6 +1755,14 @@ impl Pager {
             let Some(reason) = inner.degraded else {
                 return Ok(());
             };
+            // A poisoned journal never heals: its parked frames have no
+            // durable log records, so re-applying them would put unlogged
+            // after-images on the backend — silent divergence after the
+            // next crash. Recovery from the durable prefix is the only
+            // way out of a journal fault.
+            if inner.journal.as_ref().is_some_and(|j| !j.healthy()) {
+                return Err(PagerError::Degraded(reason));
+            }
             let overlay = std::mem::take(&mut inner.overlay);
             if Self::apply_frames(&mut inner, overlay.frames, overlay.freed, self.block_size)
                 .is_err()
@@ -1701,6 +1801,55 @@ impl Pager {
         let mut inner = self.lock();
         inner.pool.discard(id);
         inner.backend.corrupt(id, offset, mask, self.block_size);
+    }
+
+    /// One increment of the background media scrubber: examine up to
+    /// `budget` backend slots starting at the persistent scrub cursor,
+    /// verifying each allocated block's stored checksum against its data
+    /// (the file backend's slot trailer, the memory backend's page crc).
+    /// A mismatch goes through the regular WAL read-repair path
+    /// ([`Journal::repair_image`] + rewrite); an unrepairable block is
+    /// reported in [`ScrubReport::failed`] and degrades the pager exactly
+    /// like a failed foreground read. The cursor survives across calls, so
+    /// repeated small-budget calls walk the whole store incrementally —
+    /// latent bit rot is found and repaired before a foreground read (or a
+    /// post-crash recovery, which has no overlay to hide behind) trips
+    /// over it.
+    pub fn scrub_step(&self, budget: usize) -> ScrubReport {
+        let mut inner = self.lock();
+        let mut report = ScrubReport::default();
+        let len = inner.backend.len();
+        if len == 0 || budget == 0 {
+            report.wrapped = true;
+            return report;
+        }
+        for _ in 0..budget.min(len) {
+            if inner.scrub_cursor >= len {
+                inner.scrub_cursor = 0;
+                report.wrapped = true;
+            }
+            let idx = inner.scrub_cursor;
+            inner.scrub_cursor += 1;
+            if inner.scrub_cursor >= len {
+                inner.scrub_cursor = 0;
+                report.wrapped = true;
+            }
+            let id = BlockId(codec::usize_to_u32(idx).unwrap_or(u32::MAX));
+            report.scanned += 1;
+            let Some((data, crc)) = inner.backend.raw(id, self.block_size) else {
+                continue; // deallocated hole
+            };
+            if codec::crc32(&data) == crc {
+                continue;
+            }
+            // Stale checksum: scrub it through the foreground repair path.
+            inner.pool.discard(id);
+            match Self::repair_block(&mut inner, id, self.block_size) {
+                Ok(_) => report.repaired += 1,
+                Err(_) => report.failed.push(id),
+            }
+        }
+        report
     }
 
     /// Buffer-pool hit/miss counters.
@@ -1857,6 +2006,7 @@ impl Pager {
                 degraded: None,
                 degraded_entries: 0,
                 snap: SnapState::default(),
+                scrub_cursor: 0,
             }),
             view: Some(SnapshotRef {
                 base: Arc::clone(self),
@@ -1892,8 +2042,14 @@ impl Pager {
             };
             journal
         };
-        if !journal.barrier() {
-            return false;
+        match journal.barrier() {
+            JournalAck::Durable => {}
+            JournalAck::Deferred => return false,
+            JournalAck::Lost => {
+                let mut inner = self.lock();
+                Self::enter_degraded(&mut inner, DegradedReason::JournalFault);
+                return false;
+            }
         }
         let applied_ok = {
             let mut inner = self.lock();
@@ -2193,10 +2349,14 @@ mod tests {
     }
 
     impl Journal for MockJournal {
-        fn commit(&self, record: &TxnRecord) -> bool {
+        fn commit(&self, record: &TxnRecord) -> JournalAck {
             let mut records = self.records();
             records.push(record.clone());
-            records.len().is_multiple_of(self.sync_every)
+            if records.len().is_multiple_of(self.sync_every) {
+                JournalAck::Durable
+            } else {
+                JournalAck::Deferred
+            }
         }
 
         fn applied(&self) {
@@ -2472,8 +2632,8 @@ mod tests {
     }
 
     impl Journal for RepairingJournal {
-        fn commit(&self, _record: &TxnRecord) -> bool {
-            true
+        fn commit(&self, _record: &TxnRecord) -> JournalAck {
+            JournalAck::Durable
         }
         fn applied(&self) {}
         fn repair_image(&self, id: BlockId) -> Option<Box<[u8]>> {
@@ -2504,6 +2664,70 @@ mod tests {
         assert!(p.disk_image().blocks[id.index()]
             .as_ref()
             .is_some_and(DiskBlock::intact));
+    }
+
+    #[test]
+    fn scrub_step_repairs_latent_rot_before_any_read() {
+        let p = pager(64);
+        let ids: Vec<BlockId> = (0..4)
+            .map(|i| {
+                let id = p.alloc();
+                p.write(id, &[i + 1; 64]);
+                id
+            })
+            .collect();
+        p.attach_journal(Arc::new(RepairingJournal {
+            block: ids[2],
+            image: vec![3u8; 64].into_boxed_slice(),
+        }));
+        p.corrupt_block(ids[2], 5, 0x40);
+        // Budget 2 covers slots 0..2: the rotten slot is not reached yet.
+        let first = p.scrub_step(2);
+        assert_eq!(
+            first,
+            ScrubReport {
+                scanned: 2,
+                repaired: 0,
+                failed: Vec::new(),
+                wrapped: false
+            }
+        );
+        // The cursor persisted: the next increment finds and repairs the
+        // rot without any foreground read having tripped over it.
+        let second = p.scrub_step(2);
+        assert_eq!(second.scanned, 2);
+        assert_eq!(second.repaired, 1);
+        assert!(second.failed.is_empty());
+        assert!(second.wrapped, "cursor walked off the end and reset");
+        assert_eq!(p.stats().repairs, 1);
+        assert!(p.health().is_ok());
+        // The media itself was rewritten, not just a cached copy.
+        assert!(p.disk_image().blocks[ids[2].index()]
+            .as_ref()
+            .is_some_and(DiskBlock::intact));
+        // A clean store scrubs quietly.
+        let clean = p.scrub_step(16);
+        assert_eq!(clean.repaired, 0);
+        assert!(clean.failed.is_empty());
+    }
+
+    #[test]
+    fn scrub_step_skips_holes_and_degrades_on_unrepairable_rot() {
+        let p = pager(64);
+        let a = p.alloc();
+        let b = p.alloc();
+        p.write(a, &[1u8; 64]);
+        p.write(b, &[2u8; 64]);
+        p.free(a); // deallocated hole: the scrubber must skip it
+        p.corrupt_block(b, 0, 0x08); // no journal → unrepairable
+        let report = p.scrub_step(8);
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.failed, vec![b]);
+        assert!(matches!(
+            p.health(),
+            Health::Degraded(DegradedReason::Unrepairable { .. })
+        ));
     }
 
     #[test]

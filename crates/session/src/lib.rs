@@ -513,4 +513,42 @@ mod tests {
         });
         assert_eq!(seen, 4);
     }
+
+    #[test]
+    fn publish_fsyncs_through_a_file_backed_log() {
+        let mut log = std::env::temp_dir();
+        log.push(format!("boxes-session-test-publish-{}", std::process::id()));
+        let _ = std::fs::remove_file(&log);
+        let pager = Pager::new(PagerConfig::with_block_size(BS));
+        let wal = Wal::create_file(
+            &log,
+            BS,
+            WalConfig {
+                sync_every: 1_000, // group commit never trips on its own
+                checkpoint_every: 0,
+            },
+        )
+        .expect("create log");
+        pager.attach_journal(wal.clone());
+        let m: SessionManager<WBoxScheme> =
+            SessionManager::create(pager.clone(), WBoxConfig::from_block_size(BS));
+        let before = wal.durable_len();
+        {
+            let mut w = m.writer().expect("writer");
+            w.bulk_load_document(&[1, 0, 3, 2]);
+            assert_eq!(
+                wal.durable_len(),
+                before,
+                "streamed ops sit in the unsynced tail"
+            );
+            assert!(w.publish(), "publish issues the real fsync");
+        }
+        let after = wal.durable_len();
+        assert!(after > before, "publish grew the durable log on disk");
+        // The published state is now on the medium: a post-mortem read of
+        // the file sees exactly the durable prefix publish() created.
+        let bytes = boxes_wal::store::FileLogStore::read_log(&log, BS).expect("read log");
+        assert_eq!(bytes.len(), after);
+        let _ = std::fs::remove_file(&log);
+    }
 }

@@ -27,10 +27,13 @@ mod log;
 mod recover;
 /// Read-repair: latest durable block images folded from the log.
 pub mod repair;
+/// Where the log bytes live: in-memory and file-backed byte stores.
+pub mod store;
 
 pub use frame::WalError;
 pub use log::{Wal, WalConfig, WalStats};
 pub use recover::{recover, Recovered};
+pub use store::{FileLogStore, LogStore, MemLogStore, StoreError};
 
 #[cfg(test)]
 mod tests {
@@ -276,5 +279,168 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("boxes-wal-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_backed_stack_recovers_from_real_files() {
+        // Full real-file stack: pager backend and WAL both on disk. Drop
+        // every live object, then rebuild state purely from what the files
+        // hold — the kill-matrix recovery path in miniature.
+        let db = temp_path("stack-db");
+        let log = temp_path("stack-log");
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&log);
+        let ids = {
+            let pager = Pager::new(PagerConfig::with_block_size(BS).backed_by_file(&db));
+            let wal = Wal::create_file(&log, BS, WalConfig::default()).expect("create log");
+            pager.attach_journal(wal.clone());
+            run_ops(&pager, 3)
+        };
+        let bytes = store::FileLogStore::read_log(&log, BS).expect("read log");
+        let image = boxes_pager::recover_image(&db, BS).expect("read image");
+        let recovered = recover(&bytes, image).expect("recover");
+        assert_eq!(recovered.commits, 3);
+        assert_eq!(recovered.meta("test"), Some(&[2u8][..]));
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                recovered.pager.read(id)[0],
+                u8::try_from(i).expect("small") + 1
+            );
+        }
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn file_backed_checkpoint_rotation_survives_reopen() {
+        let log = temp_path("rotate-log");
+        let _ = std::fs::remove_file(&log);
+        let (ids, pre_rotation_len) = {
+            let pager = Pager::new(PagerConfig::with_block_size(BS));
+            let wal = Wal::create_file(
+                &log,
+                BS,
+                WalConfig {
+                    sync_every: 1,
+                    checkpoint_every: 4,
+                },
+            )
+            .expect("create log");
+            pager.attach_journal(wal.clone());
+            let ids = run_ops(&pager, 7);
+            assert_eq!(wal.stats().checkpoints, 1);
+            (ids, wal.durable_len())
+        };
+        let bytes = store::FileLogStore::read_log(&log, BS).expect("read log");
+        assert_eq!(
+            bytes.len(),
+            pre_rotation_len,
+            "on-disk log matches live view"
+        );
+        // The rotated file must decode standalone: checkpoint images replay
+        // every pre-rotation block onto a blank backend.
+        let blank = Pager::new(PagerConfig::with_block_size(BS));
+        for _ in 0..ids.len() {
+            blank.alloc();
+        }
+        let recovered = recover(&bytes, blank.disk_image()).expect("recover");
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                recovered.pager.read(id)[0],
+                u8::try_from(i).expect("small") + 1,
+                "block {i} reachable through the rotated log"
+            );
+        }
+        // The side file from the rename-based rotation must be gone.
+        assert!(!log.with_extension("rotate").exists());
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn failed_fsync_poisons_log_and_degrades_pager() {
+        use boxes_pager::{DegradedReason, FaultFile, FileFaultPlan, Health, RawFile};
+        let log = temp_path("fsyncgate-log");
+        let _ = std::fs::remove_file(&log);
+        // Sync ordinal 1 is the header sync in `create`; ordinal 2 is op 1's
+        // commit barrier; ordinal 3 — op 2's barrier — fails.
+        let plan = FileFaultPlan {
+            fail_sync_at: Some(3),
+            ..FileFaultPlan::default()
+        };
+        let store = store::FileLogStore::create_with(&log, BS, |f| -> Box<dyn RawFile> {
+            Box::new(FaultFile::new(f, plan))
+        })
+        .expect("create log");
+        let pager = Pager::new(PagerConfig::with_block_size(BS));
+        let wal = Wal::with_store(BS, WalConfig::default(), None, Box::new(store));
+        pager.attach_journal(wal.clone());
+        // Op 1 syncs fine; op 2's barrier fails. The failing op itself must
+        // not unwind — the pager absorbs the Lost ack as a degraded-mode
+        // entry, never an ack to the caller.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ops(&pager, 2);
+        }));
+        assert!(outcome.is_ok(), "fsync failure degrades, not panics");
+        // Once degraded, the next mutation fails fast with the typed error.
+        let denied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _txn = pager.txn();
+            pager.alloc();
+        }));
+        let payload = denied.expect_err("degraded mutation must reject");
+        assert!(matches!(
+            payload.downcast_ref::<boxes_pager::PagerError>(),
+            Some(boxes_pager::PagerError::Degraded(_))
+        ));
+        assert!(wal.poisoned());
+        assert_eq!(wal.stats().sync_failures, 1, "fsync is never retried");
+        assert!(matches!(
+            pager.health(),
+            Health::Degraded(DegradedReason::JournalFault)
+        ));
+        assert_eq!(pager.degraded_entries(), 1);
+        // Resume is refused while the journal is poisoned: replaying parked
+        // frames would put unlogged after-images on the backend.
+        assert!(pager.try_resume().is_err());
+        // Negative control: the lost window's op is NOT in the durable log —
+        // recovery yields exactly the pre-failure committed prefix.
+        let recovered = recover(&wal.durable_bytes(), pager.disk_image()).expect("recover");
+        assert_eq!(recovered.commits, 1, "only the op acked before the fault");
+        assert_eq!(recovered.pager.allocated_blocks(), 1);
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn poisoned_log_answers_lost_to_every_later_commit() {
+        use boxes_pager::{FaultFile, FileFaultPlan, Journal, JournalAck, RawFile, TxnRecord};
+        let log = temp_path("poison-log");
+        let _ = std::fs::remove_file(&log);
+        let plan = FileFaultPlan {
+            fail_sync_at: Some(2),
+            ..FileFaultPlan::default()
+        };
+        let store = store::FileLogStore::create_with(&log, BS, |f| -> Box<dyn RawFile> {
+            Box::new(FaultFile::new(f, plan))
+        })
+        .expect("create log");
+        let wal = Wal::with_store(BS, WalConfig::default(), None, Box::new(store));
+        let record = TxnRecord::default();
+        assert_eq!(wal.commit(&record), JournalAck::Lost, "first barrier fails");
+        // FaultFile lets *later* syncs succeed (the fsyncgate trap): the
+        // poisoned WAL must still refuse to ack anything.
+        assert_eq!(wal.commit(&record), JournalAck::Lost);
+        assert_eq!(wal.barrier(), JournalAck::Lost);
+        assert!(!wal.healthy());
+        assert_eq!(
+            wal.stats().sync_failures,
+            1,
+            "no retry ever reached the file"
+        );
+        let _ = std::fs::remove_file(&log);
     }
 }

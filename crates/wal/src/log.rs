@@ -1,28 +1,45 @@
 //! The write-ahead log: an append-only byte stream with an explicit
 //! durability barrier, group commit, and checkpoint truncation.
 //!
-//! The log models a real WAL file as two byte buffers: `durable` (what
-//! survives a crash — the bytes after the last fsync) and `pending` (the OS
-//! write cache — lost on crash). [`Wal::commit`] appends the record to
-//! `pending` and, every `sync_every` commits, promotes `pending` to
-//! `durable` (the fsync barrier) and tells the pager to apply buffered
-//! after-images. With `sync_every > 1` this is classic group commit: fewer
-//! barriers, but a crash loses up to `sync_every − 1` recent operations —
-//! consistently, because the pager defers applying exactly the same set.
+//! Where the bytes live is the [`LogStore`] seam: the in-memory
+//! [`MemLogStore`](crate::store::MemLogStore) models a real WAL file as two
+//! byte buffers (`durable` = what survives a crash, `pending` = the OS
+//! write cache); the file-backed
+//! [`FileLogStore`](crate::store::FileLogStore) is the real thing — an
+//! append and an fsync per group commit, checkpoint rotation via
+//! write-new-then-atomic-rename. [`Wal::commit`] appends the record to the
+//! pending window and, every `sync_every` commits, issues the durability
+//! barrier and tells the pager to apply buffered after-images. With
+//! `sync_every > 1` this is classic group commit: fewer barriers, but a
+//! crash loses up to `sync_every − 1` recent operations — consistently,
+//! because the pager defers applying exactly the same set.
+//!
+//! # fsync-failure poisoning
+//!
+//! A failed durability operation (append or fsync) **poisons** the log:
+//! after a failed fsync the kernel may have dropped the dirty pages while
+//! keeping the file position advanced, so a retried fsync that "succeeds"
+//! proves nothing about the lost window (the fsyncgate failure mode). The
+//! WAL therefore never retries — it reports [`JournalAck::Lost`], answers
+//! `Lost` to every later commit/barrier, refuses to checkpoint, and lets
+//! the pager enter its degraded read-only path. The durable prefix stays
+//! intact and recoverable.
 //!
 //! Checkpoints happen in [`Wal::applied`], i.e. strictly *after* the backend
 //! has every durable record applied: the log is replaced by a single
-//! checkpoint record carrying the full meta fold (simulating an atomic log
-//! rotation), which bounds recovery time.
+//! checkpoint record carrying the full meta fold (an atomic log rotation),
+//! which bounds recovery time.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use boxes_pager::codec;
-use boxes_pager::{lock_unpoisoned, BlockId, Journal, TxnFrame, TxnRecord};
+use boxes_pager::{lock_unpoisoned, BlockId, Journal, JournalAck, TxnFrame, TxnRecord};
 
 use crate::crashpoint::CrashClock;
 use crate::frame::{self, Record, RecordKind};
+use crate::store::{FileLogStore, LogStore, MemLogStore, StoreError};
 
 /// Tuning for a [`Wal`].
 #[derive(Clone, Copy, Debug)]
@@ -57,11 +74,16 @@ pub struct WalStats {
     pub syncs: u64,
     /// Checkpoint truncations performed.
     pub checkpoints: u64,
+    /// Failed durability operations (append or fsync). The first one
+    /// poisons the log permanently.
+    pub sync_failures: u64,
 }
 
 struct WalInner {
-    durable: Vec<u8>,
-    pending: Vec<u8>,
+    store: Box<dyn LogStore>,
+    /// Set by the first failed durability operation; never cleared. See
+    /// the module docs on fsync-failure poisoning.
+    poisoned: bool,
     next_lsn: u64,
     commits_since_sync: u64,
     batches_since_ckpt: u64,
@@ -69,7 +91,8 @@ struct WalInner {
     stats: WalStats,
 }
 
-/// A simulated write-ahead log implementing the pager's [`Journal`] hook.
+/// A write-ahead log implementing the pager's [`Journal`] hook, generic
+/// over where its bytes live ([`LogStore`]).
 pub struct Wal {
     block_size: usize,
     config: WalConfig,
@@ -78,29 +101,61 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// New empty log for a pager with the given block size.
+    /// New empty in-memory log for a pager with the given block size.
     pub fn new(block_size: usize, config: WalConfig) -> Arc<Self> {
-        Self::build(block_size, config, None)
+        Self::build(block_size, config, None, Box::new(MemLogStore::new()))
     }
 
-    /// New log with a crash clock ticking at every append and sync barrier.
+    /// New in-memory log with a crash clock ticking at every append and
+    /// sync barrier.
     pub fn with_crash_clock(
         block_size: usize,
         config: WalConfig,
         clock: Arc<CrashClock>,
     ) -> Arc<Self> {
-        Self::build(block_size, config, Some(clock))
+        Self::build(
+            block_size,
+            config,
+            Some(clock),
+            Box::new(MemLogStore::new()),
+        )
     }
 
-    fn build(block_size: usize, config: WalConfig, clock: Option<Arc<CrashClock>>) -> Arc<Self> {
+    /// New log over an explicit [`LogStore`] (file-backed, fault-wrapped,
+    /// …), with an optional crash clock.
+    pub fn with_store(
+        block_size: usize,
+        config: WalConfig,
+        clock: Option<Arc<CrashClock>>,
+        store: Box<dyn LogStore>,
+    ) -> Arc<Self> {
+        Self::build(block_size, config, clock, store)
+    }
+
+    /// Create a file-backed log at `path` (truncating any existing file).
+    pub fn create_file(
+        path: &Path,
+        block_size: usize,
+        config: WalConfig,
+    ) -> Result<Arc<Self>, StoreError> {
+        let store = FileLogStore::create(path, block_size)?;
+        Ok(Self::build(block_size, config, None, Box::new(store)))
+    }
+
+    fn build(
+        block_size: usize,
+        config: WalConfig,
+        clock: Option<Arc<CrashClock>>,
+        store: Box<dyn LogStore>,
+    ) -> Arc<Self> {
         assert!(config.sync_every >= 1, "sync_every must be at least 1");
         Arc::new(Self {
             block_size,
             config,
             clock,
             inner: Mutex::new(WalInner {
-                durable: Vec::new(),
-                pending: Vec::new(),
+                store,
+                poisoned: false,
                 next_lsn: 1,
                 commits_since_sync: 0,
                 batches_since_ckpt: 0,
@@ -112,16 +167,27 @@ impl Wal {
 
     /// The bytes that would survive a crash right now (everything up to the
     /// last durability barrier). This is the input to
-    /// [`recover`](crate::recover).
+    /// [`recover`](crate::recover). A store whose durable prefix cannot be
+    /// read back (a failed medium) yields an empty log.
     #[must_use]
     pub fn durable_bytes(&self) -> Vec<u8> {
-        lock_unpoisoned(&self.inner).durable.clone()
+        lock_unpoisoned(&self.inner)
+            .store
+            .durable()
+            .unwrap_or_default()
     }
 
     /// Current durable log length in bytes.
     #[must_use]
     pub fn durable_len(&self) -> usize {
-        lock_unpoisoned(&self.inner).durable.len()
+        codec::u64_to_index(lock_unpoisoned(&self.inner).store.durable_len())
+    }
+
+    /// Whether a failed durability operation has poisoned the log (every
+    /// later commit/barrier answers [`JournalAck::Lost`]).
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        lock_unpoisoned(&self.inner).poisoned
     }
 
     /// Snapshot of the activity counters.
@@ -135,15 +201,37 @@ impl Wal {
             clock.tick();
         }
     }
+
+    /// Issue the durability barrier on `inner`'s store, applying the
+    /// poisoning protocol on failure. Returns the ack to surface.
+    fn sync_locked(inner: &mut WalInner) -> JournalAck {
+        match inner.store.sync() {
+            Ok(()) => {
+                inner.stats.syncs += 1;
+                boxes_trace::record(boxes_trace::Counter::WalSync, 1);
+                inner.commits_since_sync = 0;
+                JournalAck::Durable
+            }
+            Err(_) => {
+                inner.poisoned = true;
+                inner.stats.sync_failures += 1;
+                JournalAck::Lost
+            }
+        }
+    }
 }
 
 impl Journal for Wal {
-    fn commit(&self, record: &TxnRecord) -> bool {
+    fn commit(&self, record: &TxnRecord) -> JournalAck {
         // Crash point: the record append (before anything is buffered —
         // crashing here loses the operation entirely, which is consistent
         // because the pager has not applied anything either).
         self.tick();
         let mut inner = lock_unpoisoned(&self.inner);
+        if inner.poisoned {
+            // The pending window is gone; nothing new can become durable.
+            return JournalAck::Lost;
+        }
         // Meta dedup: only log blobs whose value changed since the last
         // record that carried them; the fold keeps the authoritative merge
         // for checkpoints.
@@ -170,42 +258,45 @@ impl Journal for Wal {
         inner.stats.frames += codec::usize_to_u64(rec.frames.len());
         inner.stats.appended_bytes += codec::usize_to_u64(bytes.len());
         boxes_trace::record(boxes_trace::Counter::WalAppend, 1);
-        inner.pending.extend_from_slice(&bytes);
+        if inner.store.append(&bytes).is_err() {
+            // The record may be partially on the medium: poison — the
+            // decoder will roll the torn tail back at recovery.
+            inner.poisoned = true;
+            inner.stats.sync_failures += 1;
+            return JournalAck::Lost;
+        }
         inner.commits_since_sync += 1;
         if inner.commits_since_sync < self.config.sync_every {
-            return false;
+            return JournalAck::Deferred;
         }
         drop(inner);
         // Crash point: the durability barrier itself — crashing here loses
         // the whole pending batch, again in step with the pager.
         self.tick();
         let mut inner = lock_unpoisoned(&self.inner);
-        let pending = std::mem::take(&mut inner.pending);
-        inner.durable.extend_from_slice(&pending);
-        inner.stats.syncs += 1;
-        boxes_trace::record(boxes_trace::Counter::WalSync, 1);
-        inner.commits_since_sync = 0;
-        true
+        Self::sync_locked(&mut inner)
     }
 
-    fn barrier(&self) -> bool {
+    fn barrier(&self) -> JournalAck {
         {
             let inner = lock_unpoisoned(&self.inner);
-            if inner.pending.is_empty() {
+            if inner.poisoned {
+                return JournalAck::Lost;
+            }
+            if inner.store.pending_len() == 0 {
                 // Already at a barrier: no fsync to charge, nothing to lose.
-                return true;
+                return JournalAck::Durable;
             }
         }
         // Crash point: an explicit durability barrier, same exposure as the
         // sync_every-triggered one in `commit`.
         self.tick();
         let mut inner = lock_unpoisoned(&self.inner);
-        let pending = std::mem::take(&mut inner.pending);
-        inner.durable.extend_from_slice(&pending);
-        inner.stats.syncs += 1;
-        boxes_trace::record(boxes_trace::Counter::WalSync, 1);
-        inner.commits_since_sync = 0;
-        true
+        Self::sync_locked(&mut inner)
+    }
+
+    fn healthy(&self) -> bool {
+        !lock_unpoisoned(&self.inner).poisoned
     }
 
     fn applied(&self) {
@@ -214,6 +305,9 @@ impl Journal for Wal {
         }
         {
             let mut inner = lock_unpoisoned(&self.inner);
+            if inner.poisoned {
+                return;
+            }
             inner.batches_since_ckpt += 1;
             if inner.batches_since_ckpt < self.config.checkpoint_every {
                 return;
@@ -228,7 +322,10 @@ impl Journal for Wal {
         // block written before it. A fold failure means our own durable
         // bytes no longer decode — keep the old (still longer, still valid)
         // log instead of rotating onto a lossy checkpoint.
-        let Ok(images) = crate::repair::image_fold(&inner.durable, self.block_size) else {
+        let Ok(durable) = inner.store.durable() else {
+            return;
+        };
+        let Ok(images) = crate::repair::image_fold(&durable, self.block_size) else {
             return;
         };
         let lsn = inner.next_lsn;
@@ -248,13 +345,16 @@ impl Journal for Wal {
             metas: inner.fold.clone().into_iter().collect(),
         };
         let bytes = frame::encode(&rec, self.block_size);
+        // Atomic log rotation: the new durable log is just the checkpoint
+        // record. On a file store this is write-side-file + fsync + rename
+        // (+ parent-dir fsync); a rotation failure keeps the old log, which
+        // is longer but equally valid — not a poisoning event.
+        if inner.store.rotate(&bytes).is_err() {
+            return;
+        }
         inner.stats.appended_bytes += codec::usize_to_u64(bytes.len());
         inner.stats.checkpoints += 1;
         boxes_trace::record(boxes_trace::Counter::WalCheckpoint, 1);
-        // Atomic log rotation: the new durable log is just the checkpoint.
-        // (A real implementation writes a side file and renames; the crash
-        // model is the same — either the old log or the new one exists.)
-        inner.durable = bytes;
         inner.batches_since_ckpt = 0;
     }
 
@@ -264,7 +364,8 @@ impl Journal for Wal {
         // durable log — checkpoint images plus redo replay — is exactly
         // the right reconstruction source.
         let inner = lock_unpoisoned(&self.inner);
-        let image = crate::repair::latest_image(&inner.durable, self.block_size, id);
+        let durable = inner.store.durable().ok()?;
+        let image = crate::repair::latest_image(&durable, self.block_size, id);
         if image.is_some() {
             boxes_trace::record(boxes_trace::Counter::WalReplay, 1);
         }

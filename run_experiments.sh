@@ -1,5 +1,5 @@
 #!/bin/bash
-# Regenerate every figure and table of the paper (DESIGN.md E1-E8, A1-A6).
+# Regenerate every figure and table of the paper (DESIGN.md E1-E8, A1-A7).
 # Usage: ./run_experiments.sh [tiny|small|paper]
 set -e
 SCALE="${1:-small}"
@@ -7,7 +7,7 @@ mkdir -p results
 for bin in fig5_concentrated fig6_concentrated_dist fig7_scattered fig8_xmark \
            fig9_xmark_dist tab_query_cost tab_bulk_insert tab_label_bits \
            abl_wbox_params abl_bbox_fill abl_cache_log abl_buffer_pool \
-           abl_wal_recovery abl_fault_retry; do
+           abl_wal_recovery abl_fault_retry abl_fsync; do
     echo "=== $bin ($SCALE) ==="
     cargo run --release -p boxes-bench --bin "$bin" -- --scale "$SCALE" \
         > "results/${bin}_${SCALE}.txt" 2> "results/${bin}_${SCALE}.log"

@@ -686,7 +686,7 @@ fn unrepairable_flip_control(seed: u64, transcript: &mut String) -> Result<(), S
 /// wrappers catch; the default hook would still print a spurious backtrace
 /// for every expected rejection. Filter exactly that payload — real panics
 /// keep the full default report.
-fn silence_pager_error_panics() {
+pub(crate) fn silence_pager_error_panics() {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         if !info.payload().is::<PagerError>() {

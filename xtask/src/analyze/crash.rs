@@ -23,12 +23,12 @@ use boxes_core::{BBoxScheme, LabelingScheme, NaiveScheme, WBoxScheme};
 const BASE: usize = 8;
 /// Mutating operations after the bulk load (op indices 1..=OPS; the bulk
 /// load is op 0).
-const OPS: u64 = 8;
+pub(crate) const OPS: u64 = 8;
 
 /// Injected crashes unwind with [`CrashSignal`], which the default panic
 /// hook would print as a spurious backtrace for every swept tick. Filter
 /// exactly that payload; real panics keep the full default report.
-fn silence_crash_signal_panics() {
+pub(crate) fn silence_crash_signal_panics() {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         if !info.payload().is::<CrashSignal>() {
@@ -39,14 +39,14 @@ fn silence_crash_signal_panics() {
 
 /// Live-document bookkeeping shared by the crashing run and the oracle.
 #[derive(Default)]
-struct DocState {
+pub(crate) struct DocState {
     lids: Vec<Lid>,
     dead: BTreeSet<Lid>,
     last_pair: Option<(Lid, Lid)>,
 }
 
 impl DocState {
-    fn live(&self) -> Vec<Lid> {
+    pub(crate) fn live(&self) -> Vec<Lid> {
         self.lids
             .iter()
             .copied()
@@ -58,7 +58,7 @@ impl DocState {
 /// Apply operation `i` of the deterministic mixed workload: bulk load,
 /// element inserts, a 2-element subtree insert, and deletion of the element
 /// inserted by the preceding op (both tags in one atomic operation).
-fn apply_op<S: LabelingScheme>(s: &mut S, i: u64, st: &mut DocState) {
+pub(crate) fn apply_op<S: LabelingScheme>(s: &mut S, i: u64, st: &mut DocState) {
     if i == 0 {
         let partner_of: Vec<usize> = (0..2 * BASE).map(|t| t ^ 1).collect();
         st.lids = s.bulk_load_document(&partner_of);
@@ -93,7 +93,11 @@ fn apply_op<S: LabelingScheme>(s: &mut S, i: u64, st: &mut DocState) {
 /// Run ops `0..=upto`; when `journal` is given, each op is wrapped in an
 /// outer transaction scope carrying a progress meta (folded into the same
 /// atomic WAL record as the scheme's own nested transaction).
-fn run_ops<S: LabelingScheme>(s: &mut S, journal: Option<&SharedPager>, upto: u64) -> DocState {
+pub(crate) fn run_ops<S: LabelingScheme>(
+    s: &mut S,
+    journal: Option<&SharedPager>,
+    upto: u64,
+) -> DocState {
     let mut st = DocState::default();
     for i in 0..=upto {
         match journal {
@@ -113,14 +117,14 @@ fn run_ops<S: LabelingScheme>(s: &mut S, journal: Option<&SharedPager>, upto: u6
     st
 }
 
-fn committed_ops(rec: &Recovered) -> u64 {
+pub(crate) fn committed_ops(rec: &Recovered) -> u64 {
     rec.meta("harness")
         .map(|m| boxes_core::pager::Reader::new(m).u64())
         .unwrap_or(0)
 }
 
 /// Recover, reopen, audit, and compare against the committed-prefix oracle.
-fn verify_recovered<S: LabelingScheme>(
+pub(crate) fn verify_recovered<S: LabelingScheme>(
     label: &str,
     target: u64,
     rec: &Recovered,

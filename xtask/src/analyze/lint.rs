@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use boxes_lint::report::Outcome;
 
-/// Run the BX001–BX019 catalog against the `lint.toml` baseline. Prints
+/// Run the BX001–BX020 catalog against the `lint.toml` baseline. Prints
 /// every unsuppressed finding, stale suppression/ratchet, and budget
 /// violation; returns whether the gate is clean. Also writes the lint
 /// report (with pass and lock-analysis runtimes), the BX011

@@ -11,6 +11,7 @@
 
 mod chaos;
 mod crash;
+pub(crate) mod crashfile;
 mod lint;
 mod profile;
 mod semantic;
@@ -26,6 +27,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     let mut skip_cargo = false;
     let mut lint_only = false;
     let mut chaos_only = false;
+    let mut crash_file_only = false;
     let mut profile_only = false;
     let mut sessions_only = false;
     let mut baseline = false;
@@ -50,6 +52,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
             "--skip-cargo" => skip_cargo = true,
             "--lint-only" => lint_only = true,
             "--chaos-only" => chaos_only = true,
+            "--crash-file-only" => crash_file_only = true,
             "--profile-only" => profile_only = true,
             "--sessions-only" => sessions_only = true,
             "--baseline" => baseline = true,
@@ -73,6 +76,9 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     }
     if chaos_only {
         return i32::from(!chaos::chaos_lint(seed, &root));
+    }
+    if crash_file_only {
+        return i32::from(!crashfile::crash_file_lint(seed, &root));
     }
     if profile_only {
         return i32::from(!profile::profile_lint(seed, &root));
@@ -100,6 +106,7 @@ pub(crate) fn analyze(args: &[String]) -> i32 {
     step("source lint", lint::run(&root));
     step("semantic lint", semantic::semantic_lint(seed));
     step("crash recovery", crash::crash_recovery_lint(seed));
+    step("crash-file matrix", crashfile::crash_file_lint(seed, &root));
     step("chaos sweep", chaos::chaos_lint(seed, &root));
     step("session stress", sessions::sessions_lint(&root));
     step("profile/attribution", profile::profile_lint(seed, &root));

@@ -13,9 +13,10 @@
 //!    token outside comments;
 //! 4. a `missing_docs` sweep: every crate root must carry
 //!    `#![warn(missing_docs)]`;
-//! 5. the **source lint**: the `boxes-lint` BX001–BX009 rule catalog
+//! 5. the **source lint**: the `boxes-lint` BX001–BX020 rule catalog
 //!    (pager I/O discipline, filesystem containment, panic freedom, cast
-//!    safety, `#[must_use]` reports, public-item docs) over every crate,
+//!    safety, `#[must_use]` reports, public-item docs, lock discipline,
+//!    durable-file discipline) over every crate,
 //!    against the checked-in `lint.toml` baseline. The JSON report lands in
 //!    `target/lint-report.json`. `--lint-only` runs just this step;
 //!    `--baseline` prints suggested suppression entries for the current
@@ -33,6 +34,13 @@
 //!    repairs and backoff ticks) must be attributed to an open operation
 //!    span, with no spans leaked. The pass writes the deterministic
 //!    `target/trace-report.json` and `target/BENCH_boxes.json` artifacts.
+//! 8. a **process-kill crash matrix** (`--crash-file-only` runs just this
+//!    step): this binary re-execs itself as `xtask crash-child` running a
+//!    file-backed workload, `SIGKILL`s the child at seeded kill points,
+//!    optionally shreds the unsynced log tail the way a power cut would,
+//!    recovers from the surviving files, and demands exactly the committed
+//!    prefix back (plus an fsync-poisoning negative control). Report:
+//!    `target/crash-file-report.json`.
 //!
 //! Exit status is zero only when every step passes.
 
@@ -44,10 +52,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("analyze") => analyze::analyze(&args[1..]),
+        // The process-kill crash matrix re-enters this binary as its own
+        // victim: the parent sweep spawns `xtask crash-child …` and kills
+        // it at seeded points (see `analyze::crashfile`).
+        Some("crash-child") => analyze::crashfile::crash_child(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask analyze [--seed N] [--skip-cargo] [--lint-only] \
-                 [--chaos-only] [--profile-only] [--baseline]"
+                 [--chaos-only] [--crash-file-only] [--profile-only] [--baseline]"
             );
             2
         }
