@@ -1,15 +1,20 @@
 //! Emit `target/BENCH_wall.json`: wall-clock latency percentiles for the
 //! W-BOX update path, in-memory stack vs the real-file stack (file-backed
-//! pager + `FileLogStore` with fsync-per-group-commit). Deliberately a
-//! *separate* artifact from the byte-stable `BENCH_boxes.json`: wall times
-//! are nondeterministic by nature, so they get their own file that CI
+//! pager + `FileLogStore` with fsync-per-group-commit), plus the
+//! coarse-vs-sharded read-path comparison: 8 reader threads hammering the
+//! same blocks through `Pager::read` (every read takes the coordinator
+//! mutex) vs through per-thread snapshot views (reads resolve inside the
+//! sharded page table, coordinator-free). Deliberately a *separate*
+//! artifact from the byte-stable `BENCH_boxes.json`: wall times are
+//! nondeterministic by nature, so they get their own file that CI
 //! archives but never diffs.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use boxes_bench::Scale;
-use boxes_core::pager::{Pager, PagerConfig};
+use boxes_core::pager::{BlockId, Pager, PagerConfig, SharedPager};
 use boxes_core::wal::{Wal, WalConfig};
 use boxes_core::wbox::WBoxConfig;
 use boxes_core::{DocumentDriver, WBoxScheme};
@@ -85,6 +90,60 @@ fn run_variant(name: &'static str, on_file: bool, bs: usize, scale: &Scale) -> W
     }
 }
 
+/// One row of the coarse-vs-sharded 8-reader comparison.
+struct LatchRow {
+    name: &'static str,
+    threads: usize,
+    reads: usize,
+    total_ms: f64,
+}
+
+/// 8 threads read the same 256 blocks for a fixed number of rounds.
+/// `sharded` routes reads through per-thread snapshot views (the latch
+/// fast path); otherwise every read goes through the base pager and its
+/// coordinator mutex.
+fn run_latch(name: &'static str, sharded: bool, bs: usize) -> LatchRow {
+    const THREADS: usize = 8;
+    const BLOCKS: usize = 256;
+    const ROUNDS: usize = 100;
+    let pager = Pager::new(PagerConfig::with_block_size(bs));
+    let ids: Vec<BlockId> = (0..BLOCKS)
+        .map(|i| {
+            let id = pager.alloc();
+            pager.write(id, &vec![(i % 251) as u8; bs]);
+            id
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let pager = Arc::clone(&pager);
+            let barrier = Arc::clone(&barrier);
+            let ids = &ids;
+            s.spawn(move || {
+                let reader: SharedPager = if sharded {
+                    pager.snapshot_view().0
+                } else {
+                    pager
+                };
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    for id in ids {
+                        std::hint::black_box(reader.read(*id));
+                    }
+                }
+            });
+        }
+    });
+    LatchRow {
+        name,
+        threads: THREADS,
+        reads: THREADS * BLOCKS * ROUNDS,
+        total_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 fn main() {
     let (scale, bs) = Scale::from_args();
     eprintln!("bench_wall: scale={} block_size={bs}", scale.name);
@@ -93,7 +152,7 @@ fn main() {
         run_variant("file", true, bs, &scale),
     ];
     let mut json = String::new();
-    json.push_str("{\"schema\":\"boxes-bench-wall/1\",\"scale\":\"");
+    json.push_str("{\"schema\":\"boxes-bench-wall/2\",\"scale\":\"");
     json.push_str(scale.name);
     json.push_str("\",\"block_size\":");
     json.push_str(&bs.to_string());
@@ -115,6 +174,25 @@ fn main() {
             r.max_us,
         ));
     }
+    json.push_str("],\"latch\":[");
+    let latch_rows = [
+        run_latch("coarse", false, bs),
+        run_latch("sharded", true, bs),
+    ];
+    for (i, r) in latch_rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"threads\":{},\"reads\":{},\"total_ms\":{:.3},\
+             \"reads_per_s\":{:.0}}}",
+            r.name,
+            r.threads,
+            r.reads,
+            r.total_ms,
+            r.reads as f64 / (r.total_ms / 1e3),
+        ));
+    }
     json.push_str("]}\n");
     let path = Path::new("target/BENCH_wall.json");
     match std::fs::write(path, &json) {
@@ -128,6 +206,16 @@ fn main() {
         println!(
             "  {:>4}: {} ops in {:.1} ms  p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us",
             r.name, r.ops, r.total_ms, r.p50_us, r.p90_us, r.p99_us, r.max_us
+        );
+    }
+    for r in &latch_rows {
+        println!(
+            "  latch/{:>7}: {} threads, {} reads in {:.1} ms ({:.0} reads/s)",
+            r.name,
+            r.threads,
+            r.reads,
+            r.total_ms,
+            r.reads as f64 / (r.total_ms / 1e3),
         );
     }
 }

@@ -60,6 +60,9 @@ pub mod faultlib;
 mod faults;
 /// End-to-end labeler facade combining a scheme with a document tree.
 pub mod labeler;
+/// Seeded logical-tick scheduler for deterministic interleaving tests
+/// (the latch-interleave rig's replay engine).
+pub mod sched;
 /// The `LabelingScheme`/`OrdinalScheme` trait surface and adapters.
 pub mod scheme;
 /// Read-only label-query views (`LabelView`) over any scheme.

@@ -35,8 +35,10 @@ pub mod codec;
 /// Deterministic faulty-disk plans for the [`FaultInjector`] seam.
 pub mod fault;
 mod file;
-mod pool;
+/// Buffer pool with selectable eviction policy (LRU / CLOCK).
+pub mod pool;
 mod stats;
+mod table;
 /// The raw-file surface beneath the file backends, plus the fault-wrapping
 /// handle that injects disk failures below the file layer.
 pub mod vfs;
@@ -44,13 +46,14 @@ pub mod vfs;
 pub use codec::{crc32, Reader, VecWriter, Writer};
 pub use fault::{splitmix64, FaultEvent, FaultPlan, FaultPlanConfig, FaultSite, ReadFault};
 pub use file::{recover_image, FileError};
-pub use pool::PoolStats;
+pub use pool::{BufferPool, PoolPinned, PoolPolicy, PoolStats};
 pub use stats::IoStats;
+pub use table::ShardStats;
 pub use vfs::{sector_floor, FaultFile, FileFaultPlan, RawFile, SECTOR_SIZE};
 
 use boxes_trace::{record as trace_record, Counter as TraceCounter};
-use pool::BufferPool;
 use std::sync::{Arc, Mutex, MutexGuard};
+use table::{PageTable, TableRef};
 
 /// Default block size used throughout the reproduction: 8 KB, matching §7
 /// ("For all experiments, the block size is set to 8KB").
@@ -94,9 +97,12 @@ impl std::fmt::Debug for BlockId {
 pub struct PagerConfig {
     /// Size of each block in bytes.
     pub block_size: usize,
-    /// Capacity of the LRU buffer pool in blocks. `0` disables caching — the
+    /// Capacity of the buffer pool in blocks. `0` disables caching — the
     /// setting used for all paper experiments.
     pub pool_capacity: usize,
+    /// Eviction policy of the buffer pool ([`PoolPolicy::Clock`] by
+    /// default; [`PoolPolicy::Lru`] kept for the A-series ablations).
+    pub pool_policy: PoolPolicy,
     /// Back the blocks with this file instead of memory (extension beyond
     /// the paper's simulated setup: real disk I/O, same accounting).
     pub file: Option<std::path::PathBuf>,
@@ -107,6 +113,7 @@ impl Default for PagerConfig {
         Self {
             block_size: DEFAULT_BLOCK_SIZE,
             pool_capacity: 0,
+            pool_policy: PoolPolicy::Clock,
             file: None,
         }
     }
@@ -118,13 +125,22 @@ impl PagerConfig {
         Self {
             block_size,
             pool_capacity: 0,
+            pool_policy: PoolPolicy::Clock,
             file: None,
         }
     }
 
-    /// Enable an LRU buffer pool holding `capacity` blocks.
+    /// Enable a buffer pool holding `capacity` blocks (CLOCK eviction
+    /// unless overridden with [`PagerConfig::with_pool_policy`]).
     pub fn with_pool(mut self, capacity: usize) -> Self {
         self.pool_capacity = capacity;
+        self
+    }
+
+    /// Select the buffer-pool eviction policy (ablation knob: LRU vs the
+    /// scan-resistant CLOCK second-chance sweep).
+    pub fn with_pool_policy(mut self, policy: PoolPolicy) -> Self {
+        self.pool_policy = policy;
         self
     }
 
@@ -500,19 +516,11 @@ struct Overlay {
     freed: Vec<BlockId>,
 }
 
-/// One copy-on-write frozen block version: the committed image as it stood
-/// through epoch `valid_to`, preserved because a pinned snapshot may still
-/// read it. Versions of a block are kept in ascending `valid_to` order; a
-/// snapshot pinned at epoch `e` reads the first version with
-/// `valid_to >= e`, falling back to the live backend when none exists.
-struct Frozen {
-    valid_to: u64,
-    data: Box<[u8]>,
-}
-
 /// Snapshot-isolation state: the published epoch counter, per-epoch pin
-/// refcounts, frozen block versions, and the published/pending split of
-/// structure-state meta blobs.
+/// refcounts, and the published/pending split of structure-state meta
+/// blobs. The frozen block versions themselves live in the sharded
+/// [`PageTable`] next to the frames they shadow, so snapshot readers can
+/// resolve a pinned-epoch read inside one shard without the coordinator.
 ///
 /// The epoch advances exactly at *group-commit boundaries* — when a sync
 /// barrier has made the log tail durable **and** every covered frame has
@@ -529,8 +537,6 @@ struct SnapState {
     epoch: u64,
     /// Open-snapshot refcounts per pinned epoch.
     pins: std::collections::BTreeMap<u64, u64>,
-    /// Frozen block versions, ascending `valid_to` per block.
-    versions: std::collections::BTreeMap<u32, Vec<Frozen>>,
     /// Meta blobs of the last published epoch (shared with snapshots).
     published_metas: Arc<std::collections::BTreeMap<String, Vec<u8>>>,
     /// Meta blobs staged by commits whose frames are not yet applied.
@@ -614,25 +620,6 @@ struct PagerInner {
     scrub_cursor: usize,
 }
 
-/// One in-memory block plus its page checksum. The checksum is recomputed on
-/// every write and verified on every read, so a torn page (a crash that
-/// persisted only a prefix of a block) is *detected*, never silently decoded.
-struct MemBlock {
-    data: Box<[u8]>,
-    crc: u32,
-}
-
-impl MemBlock {
-    fn zeroed(block_size: usize) -> Self {
-        Self::fresh(vec![0u8; block_size].into_boxed_slice())
-    }
-
-    fn fresh(data: Box<[u8]>) -> Self {
-        let crc = codec::crc32(&data);
-        Self { data, crc }
-    }
-}
-
 /// Classified backend read failure, consumed by the pager's checked read
 /// path: retry ([`ReadFailure::Io`]), read-repair ([`ReadFailure::Checksum`])
 /// or the documented contract panic ([`ReadFailure::Unallocated`]).
@@ -643,42 +630,45 @@ enum ReadFailure {
 }
 
 enum Backend {
-    Memory(Vec<Option<MemBlock>>),
+    /// In-memory blocks, stored in the sharded [`PageTable`] (the same
+    /// `Arc` the owning [`Pager`] holds in its `table` field, so snapshot
+    /// readers can reach frames without the coordinator).
+    Memory(TableRef),
     File(file::FileStore),
 }
 
 impl Backend {
     fn len(&self) -> usize {
         match self {
-            Backend::Memory(blocks) => blocks.len(),
+            Backend::Memory(t) => t.len(),
             Backend::File(f) => f.len(),
         }
     }
 
     fn is_allocated(&self, id: BlockId) -> bool {
         match self {
-            Backend::Memory(blocks) => blocks.get(id.index()).is_some_and(|b| b.is_some()),
+            Backend::Memory(t) => t.is_allocated(id.0),
             Backend::File(f) => f.is_allocated(id.index()),
         }
     }
 
     fn push_zeroed(&mut self, block_size: usize) {
         match self {
-            Backend::Memory(blocks) => blocks.push(Some(MemBlock::zeroed(block_size))),
+            Backend::Memory(t) => t.push_zeroed(block_size),
             Backend::File(f) => f.push_zeroed(),
         }
     }
 
     fn reuse_zeroed(&mut self, id: BlockId, block_size: usize) {
         match self {
-            Backend::Memory(blocks) => blocks[id.index()] = Some(MemBlock::zeroed(block_size)),
+            Backend::Memory(t) => t.reuse_zeroed(id.0, block_size),
             Backend::File(f) => f.reuse_zeroed(id.index()),
         }
     }
 
     fn deallocate(&mut self, id: BlockId) {
         match self {
-            Backend::Memory(blocks) => blocks[id.index()] = None,
+            Backend::Memory(t) => t.deallocate(id.0),
             Backend::File(f) => f.deallocate(id.index()),
         }
     }
@@ -688,16 +678,7 @@ impl Backend {
     /// missing block into the documented contract panic.
     fn try_read(&mut self, id: BlockId, block_size: usize) -> Result<Box<[u8]>, ReadFailure> {
         match self {
-            Backend::Memory(blocks) => {
-                let block = blocks
-                    .get(id.index())
-                    .and_then(|b| b.as_ref())
-                    .ok_or(ReadFailure::Unallocated)?;
-                if codec::crc32(&block.data) != block.crc {
-                    return Err(ReadFailure::Checksum);
-                }
-                Ok(block.data.clone())
-            }
+            Backend::Memory(t) => t.try_read(id.0),
             Backend::File(f) => match f.read(id.index(), block_size) {
                 Ok(data) => Ok(data),
                 Err(file::FileError::Unallocated(_)) => Err(ReadFailure::Unallocated),
@@ -714,13 +695,7 @@ impl Backend {
     /// [`Pager::corrupt_block`] and [`ReadFault::BitFlip`].
     fn corrupt(&mut self, id: BlockId, offset: usize, mask: u8, block_size: usize) {
         match self {
-            Backend::Memory(blocks) => {
-                if let Some(block) = blocks.get_mut(id.index()).and_then(|b| b.as_mut()) {
-                    if let Some(byte) = block.data.get_mut(offset) {
-                        *byte ^= mask;
-                    }
-                }
-            }
+            Backend::Memory(t) => t.corrupt(id.0, offset, mask),
             Backend::File(f) => {
                 if let Some((mut data, _crc)) = f.raw(id.index(), block_size) {
                     if let Some(byte) = data.get_mut(offset) {
@@ -739,7 +714,7 @@ impl Backend {
 
     fn write(&mut self, id: BlockId, data: Box<[u8]>) {
         match self {
-            Backend::Memory(blocks) => blocks[id.index()] = Some(MemBlock::fresh(data)),
+            Backend::Memory(t) => t.write(id.0, data),
             Backend::File(f) => f
                 .write(id.index(), &data)
                 .unwrap_or_else(|e| panic!("write of {id:?} failed: {e}")),
@@ -751,11 +726,10 @@ impl Backend {
     fn write_torn(&mut self, id: BlockId, data: &[u8], prefix: usize) {
         let n = prefix.min(data.len());
         match self {
-            Backend::Memory(blocks) => {
-                let block = blocks[id.index()]
-                    .as_mut()
-                    .unwrap_or_else(|| panic!("torn write of unallocated {id:?}"));
-                block.data[..n].copy_from_slice(&data[..n]);
+            Backend::Memory(t) => {
+                if !t.write_torn(id.0, data, n) {
+                    panic!("torn write of unallocated {id:?}");
+                }
             }
             Backend::File(f) => f
                 .write_torn(id.index(), &data[..n])
@@ -767,17 +741,14 @@ impl Backend {
     /// the crash-recovery path inspects torn pages instead of panicking.
     fn raw(&mut self, id: BlockId, block_size: usize) -> Option<(Box<[u8]>, u32)> {
         match self {
-            Backend::Memory(blocks) => blocks
-                .get(id.index())
-                .and_then(|b| b.as_ref())
-                .map(|b| (b.data.clone(), b.crc)),
+            Backend::Memory(t) => t.raw(id.0),
             Backend::File(f) => f.raw(id.index(), block_size),
         }
     }
 
     fn allocated_count(&self) -> usize {
         match self {
-            Backend::Memory(blocks) => blocks.iter().filter(|b| b.is_some()).count(),
+            Backend::Memory(t) => t.allocated_count(),
             Backend::File(f) => f.allocated_count(),
         }
     }
@@ -785,13 +756,21 @@ impl Backend {
 
 /// An in-memory simulated disk of fixed-size blocks with I/O accounting.
 ///
-/// `Send + Sync`: all mutable state sits behind one coarse [`Mutex`], so the
-/// many structures sharing one pager hold plain [`Arc`] handles and reader
-/// sessions on other threads can run lookups concurrently with the main
-/// session (ROADMAP item 1; the paper's experiments are single-user, but the
-/// substrate no longer forces that).
+/// `Send + Sync`, with a two-tier locking split (ROADMAP item 1): the
+/// coarse `inner` [`Mutex`] is the *coordinator* — alloc/free, epoch
+/// publish, WAL group-commit barriers and all write paths serialize there —
+/// while the block frames and frozen snapshot versions live in the sharded
+/// [`PageTable`] (per-shard mutexes, per-frame `RwLock` latches). Snapshot
+/// readers resolve pinned-epoch reads entirely inside one shard, so reader
+/// sessions touching disjoint blocks never contend with each other or with
+/// the coordinator. Lock order: coordinator → shard → frame latch
+/// (registered with the BX015 lock-order lint).
 pub struct Pager {
     block_size: usize,
+    /// The sharded frame/version store. For memory-backed pagers this is
+    /// the same `Arc` as in `Backend::Memory`; file-backed pagers keep
+    /// only frozen versions here.
+    table: TableRef,
     inner: Mutex<PagerInner>,
     /// `Some` makes this pager a read-only *snapshot view* onto another
     /// pager at a pinned epoch. Deliberately outside `inner`: view reads
@@ -826,8 +805,9 @@ impl Pager {
     /// Create a pager with the given configuration.
     pub fn new(config: PagerConfig) -> SharedPager {
         assert!(config.block_size >= 16, "block size unreasonably small");
+        let table: TableRef = Arc::new(PageTable::new());
         let backend = match &config.file {
-            None => Backend::Memory(Vec::new()),
+            None => Backend::Memory(TableRef::clone(&table)),
             Some(path) => Backend::File(
                 file::FileStore::create(path, config.block_size)
                     .unwrap_or_else(|e| panic!("cannot create pager file {path:?}: {e}")),
@@ -835,11 +815,12 @@ impl Pager {
         };
         Arc::new(Pager {
             block_size: config.block_size,
+            table,
             inner: Mutex::new(PagerInner {
                 backend,
                 free: Vec::new(),
                 stats: IoStats::default(),
-                pool: BufferPool::new(config.pool_capacity),
+                pool: BufferPool::new(config.pool_capacity, config.pool_policy),
                 journal: None,
                 fault: None,
                 txn: TxnState::default(),
@@ -861,15 +842,17 @@ impl Pager {
         let blocks = image
             .blocks
             .into_iter()
-            .map(|slot| slot.map(|b| MemBlock::fresh(b.data)))
+            .map(|slot| slot.map(|b| b.data))
             .collect();
+        let table: TableRef = Arc::new(PageTable::from_blocks(blocks));
         Arc::new(Pager {
             block_size: image.block_size,
+            table: TableRef::clone(&table),
             inner: Mutex::new(PagerInner {
-                backend: Backend::Memory(blocks),
+                backend: Backend::Memory(table),
                 free,
                 stats: IoStats::default(),
-                pool: BufferPool::new(0),
+                pool: BufferPool::disabled(),
                 journal: None,
                 fault: None,
                 txn: TxnState::default(),
@@ -1012,7 +995,9 @@ impl Pager {
                         frames.insert(frame.block.0, frame.after);
                     }
                     freed.extend(record.freed);
-                    let ok = Self::apply_frames(&mut inner, frames, freed, self.block_size).is_ok();
+                    let ok =
+                        Self::apply_frames(&mut inner, &self.table, frames, freed, self.block_size)
+                            .is_ok();
                     if ok {
                         // Group-commit boundary: log durable, frames applied —
                         // publish a fresh snapshot epoch carrying every staged
@@ -1112,13 +1097,14 @@ impl Pager {
     /// [`Pager::try_resume`] re-attempts the apply.
     fn apply_frames(
         inner: &mut PagerInner,
+        table: &PageTable,
         mut frames: std::collections::BTreeMap<u32, Box<[u8]>>,
         mut freed: Vec<BlockId>,
         block_size: usize,
     ) -> Result<(), DegradedReason> {
         while let Some((raw, data)) = frames.pop_first() {
             let id = BlockId(raw);
-            Self::freeze_for_pins(inner, id, block_size);
+            Self::freeze_for_pins(inner, table, id, block_size);
             if let Err((data, reason)) = Self::write_block_checked(inner, id, data) {
                 frames.insert(raw, data);
                 inner.overlay.frames.append(&mut frames);
@@ -1128,7 +1114,7 @@ impl Pager {
             }
         }
         for id in freed {
-            Self::freeze_for_pins(inner, id, block_size);
+            Self::freeze_for_pins(inner, table, id, block_size);
             inner.backend.deallocate(id);
             inner.free.push(id.0);
         }
@@ -1142,30 +1128,30 @@ impl Pager {
     /// epoch, when the block was never materialized, or when the on-media
     /// image fails its checksum (a corrupt image is not worth preserving —
     /// snapshot reads then fall back to the repaired backend path).
-    fn freeze_for_pins(inner: &mut PagerInner, id: BlockId, block_size: usize) {
+    fn freeze_for_pins(inner: &mut PagerInner, table: &PageTable, id: BlockId, block_size: usize) {
         if inner.snap.pins.is_empty() {
             return;
         }
         let epoch = inner.snap.epoch;
-        if inner
-            .snap
-            .versions
-            .get(&id.0)
-            .and_then(|v| v.last())
-            .is_some_and(|f| f.valid_to >= epoch)
-        {
-            return;
+        match &inner.backend {
+            // Memory backend: the frame lives in the table already, so the
+            // freeze is a single shard-atomic copy-on-write step.
+            Backend::Memory(_) => table.freeze_image(id.0, epoch),
+            // File backend: read the on-media image here (under the
+            // coordinator) and park it in the table's version store.
+            Backend::File(_) => {
+                if table.newest_version_covers(id.0, epoch) {
+                    return;
+                }
+                let Some((data, crc)) = inner.backend.raw(id, block_size) else {
+                    return;
+                };
+                if codec::crc32(&data) != crc {
+                    return;
+                }
+                table.push_version(id.0, epoch, data);
+            }
         }
-        let Some((data, crc)) = inner.backend.raw(id, block_size) else {
-            return;
-        };
-        if codec::crc32(&data) != crc {
-            return;
-        }
-        inner.snap.versions.entry(id.0).or_default().push(Frozen {
-            valid_to: epoch,
-            data,
-        });
     }
 
     /// Advance the snapshot epoch at a group-commit boundary: the journal is
@@ -1195,21 +1181,11 @@ impl Pager {
         }
     }
 
-    /// Drop frozen versions no pinned epoch can still read. Version `i` of a
-    /// block covers epochs `(versions[i-1].valid_to, versions[i].valid_to]`
-    /// (the first covers from 0), so a version is live iff some pin falls in
-    /// its coverage window. Runs after every unpin.
-    fn reclaim_versions(inner: &mut PagerInner) {
-        let SnapState { pins, versions, .. } = &mut inner.snap;
-        versions.retain(|_, versions| {
-            let mut valid_from = 0u64;
-            versions.retain(|v| {
-                let needed = pins.range(valid_from..=v.valid_to).next().is_some();
-                valid_from = v.valid_to + 1;
-                needed
-            });
-            !versions.is_empty()
-        });
+    /// Drop frozen versions no pinned epoch can still read (the window
+    /// arithmetic lives in [`PageTable::reclaim_versions`]). Runs under the
+    /// coordinator after every unpin.
+    fn reclaim_versions(inner: &mut PagerInner, table: &PageTable) {
+        table.reclaim_versions(&inner.snap.pins);
     }
 
     /// Transition to read-only service. Idempotent: the first reason wins
@@ -1386,11 +1362,12 @@ impl Pager {
             .collect();
         Ok(Arc::new(Pager {
             block_size,
+            table: Arc::new(PageTable::new()),
             inner: Mutex::new(PagerInner {
                 backend: Backend::File(store),
                 free,
                 stats: IoStats::default(),
-                pool: BufferPool::new(0),
+                pool: BufferPool::disabled(),
                 journal: None,
                 fault: None,
                 txn: TxnState::default(),
@@ -1528,7 +1505,7 @@ impl Pager {
             inner.backend.is_allocated(id),
             "double free or out-of-range free of {id:?}"
         );
-        Self::freeze_for_pins(&mut inner, id, self.block_size);
+        Self::freeze_for_pins(&mut inner, &self.table, id, self.block_size);
         inner.backend.deallocate(id);
         inner.free.push(id.0);
     }
@@ -1597,7 +1574,7 @@ impl Pager {
             .insert_clean(id, data.clone())
             .map_err(|_| PagerError::Pinned { block: id })?
         {
-            Self::freeze_for_pins(&mut inner, evicted, self.block_size);
+            Self::freeze_for_pins(&mut inner, &self.table, evicted, self.block_size);
             Self::write_back(&mut inner, evicted, dirty)?;
         }
         Ok(data)
@@ -1669,7 +1646,7 @@ impl Pager {
         if inner.pool.capacity() == 0 {
             inner.stats.writes += 1;
             trace_record(TraceCounter::BlockWrite, 1);
-            Self::freeze_for_pins(&mut inner, id, self.block_size);
+            Self::freeze_for_pins(&mut inner, &self.table, id, self.block_size);
             let boxed = data.to_vec().into_boxed_slice();
             if let Err((_, reason)) = Self::write_block_checked(&mut inner, id, boxed) {
                 Self::enter_degraded(&mut inner, reason);
@@ -1682,7 +1659,7 @@ impl Pager {
             .insert_dirty(id, data.to_vec().into_boxed_slice())
             .map_err(|_| PagerError::Pinned { block: id })?
         {
-            Self::freeze_for_pins(&mut inner, evicted, self.block_size);
+            Self::freeze_for_pins(&mut inner, &self.table, evicted, self.block_size);
             Self::write_back(&mut inner, evicted, dirty)?;
         }
         Ok(())
@@ -1764,8 +1741,14 @@ impl Pager {
                 return Err(PagerError::Degraded(reason));
             }
             let overlay = std::mem::take(&mut inner.overlay);
-            if Self::apply_frames(&mut inner, overlay.frames, overlay.freed, self.block_size)
-                .is_err()
+            if Self::apply_frames(
+                &mut inner,
+                &self.table,
+                overlay.frames,
+                overlay.freed,
+                self.block_size,
+            )
+            .is_err()
             {
                 return Err(PagerError::Degraded(reason));
             }
@@ -1857,6 +1840,14 @@ impl Pager {
         self.lock().pool.stats()
     }
 
+    /// Per-shard latch counters and occupancy of the sharded page table,
+    /// in shard order: acquisition/contention tallies plus resident frame
+    /// and frozen-version counts. Lock-free on the coordinator (shard
+    /// guards only), so stress harnesses can sample it live.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.table.shard_stats()
+    }
+
     /// Reset the I/O and buffer-pool counters to zero (pool contents are
     /// kept).
     pub fn reset_stats(&self) {
@@ -1933,7 +1924,7 @@ impl Pager {
             if *count == 0 {
                 inner.snap.pins.remove(&epoch);
             }
-            Self::reclaim_versions(&mut inner);
+            Self::reclaim_versions(&mut inner, &self.table);
         }
     }
 
@@ -1944,11 +1935,19 @@ impl Pager {
     /// calling. Never consults the fault plan: snapshot reads must not shift
     /// the deterministic fault-attempt counters of the main session.
     fn snapshot_read_raw(&self, id: BlockId, epoch: u64) -> Result<Box<[u8]>, PagerError> {
+        // Fast path: resolve the read inside one shard — frozen version or
+        // a checksum-clean live frame — without touching the coordinator.
+        // This is what lets 8 readers on disjoint blocks run latch-parallel.
+        if let Some(data) = self.table.snapshot_read(id.0, epoch) {
+            return Ok(data);
+        }
+        // Slow path (under the coordinator): file-backend reads, checksum
+        // repair, and the unallocated-block contract panic.
         let mut inner = self.lock();
-        if let Some(versions) = inner.snap.versions.get(&id.0) {
-            if let Some(frozen) = versions.iter().find(|f| f.valid_to >= epoch) {
-                return Ok(frozen.data.clone());
-            }
+        if let Some(data) = self.table.snapshot_read(id.0, epoch) {
+            // A writer froze or repaired the block between our fast-path
+            // miss and taking the coordinator.
+            return Ok(data);
         }
         Self::read_block_checked(&mut inner, id, self.block_size, false)
     }
@@ -1958,13 +1957,14 @@ impl Pager {
     /// neither frozen nor allocated was freed with no pinned reader needing
     /// it). Used by snapshot views to answer [`Pager::is_allocated`].
     fn snapshot_is_allocated(&self, id: BlockId, epoch: u64) -> bool {
+        // Shard-local fast path: a covering version or resident frame is
+        // proof of allocation. A miss is inconclusive (file backends keep
+        // no frames in the table), so fall back to the coordinator.
+        if self.table.snapshot_covers(id.0, epoch) {
+            return true;
+        }
         let inner = self.lock();
-        if inner
-            .snap
-            .versions
-            .get(&id.0)
-            .is_some_and(|versions| versions.iter().any(|f| f.valid_to >= epoch))
-        {
+        if self.table.snapshot_covers(id.0, epoch) {
             return true;
         }
         inner.backend.is_allocated(id)
@@ -1991,13 +1991,17 @@ impl Pager {
             "snapshot views cannot be snapshotted again"
         );
         let (epoch, metas) = self.pin_epoch();
+        // The view's own table/backend are empty dummies: every read
+        // forwards to the base pager's sharded table via the tether.
+        let table: TableRef = Arc::new(PageTable::new());
         let view = Arc::new(Pager {
             block_size: self.block_size,
+            table: TableRef::clone(&table),
             inner: Mutex::new(PagerInner {
-                backend: Backend::Memory(Vec::new()),
+                backend: Backend::Memory(table),
                 free: Vec::new(),
                 stats: IoStats::default(),
-                pool: pool::BufferPool::new(0),
+                pool: pool::BufferPool::disabled(),
                 fault: None,
                 journal: None,
                 txn: TxnState::default(),
@@ -2060,8 +2064,14 @@ impl Pager {
                 return false;
             }
             let overlay = std::mem::take(&mut inner.overlay);
-            let ok = Self::apply_frames(&mut inner, overlay.frames, overlay.freed, self.block_size)
-                .is_ok();
+            let ok = Self::apply_frames(
+                &mut inner,
+                &self.table,
+                overlay.frames,
+                overlay.freed,
+                self.block_size,
+            )
+            .is_ok();
             if ok {
                 Self::publish_epoch(&mut inner, Vec::new());
             }
@@ -2158,6 +2168,15 @@ impl boxes_audit::Auditable for Pager {
                 Violation::new(ViolationKind::PinLeak, format!("pager/snap/epoch[{epoch}]"))
                     .expected("zero snapshot pins at audit time")
                     .actual(format!("{count} reader(s) still pinned")),
+            );
+        }
+        // Frozen versions outliving every pin are a reclaim leak: the
+        // copy-on-write store must drain once no snapshot can read it.
+        if inner.snap.pins.is_empty() && !self.table.versions_empty() {
+            report.push(
+                Violation::new(ViolationKind::PinLeak, "pager/table/versions")
+                    .expected("no frozen versions once all pins are released")
+                    .actual("unreclaimed frozen versions in the page table"),
             );
         }
         report
@@ -2846,8 +2865,8 @@ mod tests {
         drop(s1);
         assert_eq!(s2.read(a)[0], 2, "reclaim keeps versions s2 still needs");
         drop(s2);
+        assert!(p.table.versions_empty(), "all versions reclaimed");
         let inner = p.lock();
-        assert!(inner.snap.versions.is_empty(), "all versions reclaimed");
         assert!(inner.snap.pins.is_empty(), "all pins released");
     }
 
@@ -2887,6 +2906,7 @@ mod tests {
         let p = Pager::new(PagerConfig {
             block_size: 64,
             pool_capacity: 2,
+            pool_policy: PoolPolicy::Clock,
             file: None,
         });
         let id = p.alloc();
@@ -2908,6 +2928,7 @@ mod tests {
         let p = Pager::new(PagerConfig {
             block_size: 64,
             pool_capacity: 2,
+            pool_policy: PoolPolicy::Clock,
             file: None,
         });
         let id = p.alloc();

@@ -245,6 +245,14 @@ impl<S: SessionScheme> SessionManager<S> {
         self.pager.published_epoch()
     }
 
+    /// Per-shard page-table latch statistics of the underlying pager (see
+    /// [`boxes_pager::Pager::shard_stats`]): how concurrent this manager's
+    /// reader sessions actually ran, shard by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<boxes_pager::ShardStats> {
+        self.pager.shard_stats()
+    }
+
     /// Claim the single writer session. Errors with
     /// [`SessionError::WriterBusy`] while another writer session is alive.
     pub fn writer(&self) -> Result<WriterSession<'_, S>, SessionError> {
@@ -480,6 +488,23 @@ mod tests {
         assert!(fresh.epoch() > snap.epoch());
         assert_eq!(fresh.len(), 44, "fresh snapshot sees the inserts");
         assert!(snap.io().reads > 0, "snapshot charged its own reads");
+    }
+
+    #[test]
+    fn shard_stats_surface_reader_latch_traffic() {
+        let m = wbox_manager(1);
+        {
+            let mut w = m.writer().expect("writer");
+            w.bulk_load_document(&[1, 0, 3, 2]);
+        }
+        let before: u64 = m.shard_stats().iter().map(|s| s.acquisitions).sum();
+        let snap = m.snapshot().expect("snapshot");
+        let _ = snap.len();
+        let after: u64 = m.shard_stats().iter().map(|s| s.acquisitions).sum();
+        assert!(
+            after > before,
+            "snapshot reads go through the sharded table ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Per-shard latch contention side channel.
+//!
+//! The sharded pager (`boxes_pager::table`) tallies every shard-mutex
+//! acquisition and every contended acquisition (one where the uncontended
+//! `try_lock` fast path missed) into this process-wide table, keyed by
+//! shard index. It is a *side channel*, deliberately outside the
+//! deterministic [`crate::TraceReport`]: contention depends on the OS
+//! scheduler, so these tallies feed human-facing artifacts
+//! (`latch-report.json`, stress legs) and are never byte-diffed.
+//!
+//! Storage is a fixed array of SeqCst atomics — no locks, so recording from
+//! inside a latch acquisition path can never deadlock or reorder against
+//! the latches it observes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of shard slots tracked. Larger shard indices fold in modulo this,
+/// so the table never misses an event (the pager's shard count is far
+/// below it).
+pub const LATCH_SLOTS: usize = 64;
+
+static ACQUIRED: [AtomicU64; LATCH_SLOTS] = [const { AtomicU64::new(0) }; LATCH_SLOTS];
+static CONTENDED: [AtomicU64; LATCH_SLOTS] = [const { AtomicU64::new(0) }; LATCH_SLOTS];
+
+/// Record one shard-latch acquisition for `slot`, optionally contended.
+pub fn record_latch(slot: usize, contended: bool) {
+    let slot = slot % LATCH_SLOTS;
+    ACQUIRED[slot].fetch_add(1, Ordering::SeqCst);
+    if contended {
+        CONTENDED[slot].fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Process-wide totals: `(acquisitions, contended)` summed over all slots.
+#[must_use]
+pub fn latch_totals() -> (u64, u64) {
+    let mut acquired = 0u64;
+    let mut contended = 0u64;
+    for slot in 0..LATCH_SLOTS {
+        acquired += ACQUIRED[slot].load(Ordering::SeqCst);
+        contended += CONTENDED[slot].load(Ordering::SeqCst);
+    }
+    (acquired, contended)
+}
+
+/// Per-slot `(acquisitions, contended)` tallies for the first `n` slots.
+#[must_use]
+pub fn latch_slots(n: usize) -> Vec<(u64, u64)> {
+    (0..n.min(LATCH_SLOTS))
+        .map(|slot| {
+            (
+                ACQUIRED[slot].load(Ordering::SeqCst),
+                CONTENDED[slot].load(Ordering::SeqCst),
+            )
+        })
+        .collect()
+}
+
+/// Zero every slot (called by [`crate::reset`] between deterministic legs).
+pub fn reset_latches() {
+    for slot in 0..LATCH_SLOTS {
+        ACQUIRED[slot].store(0, Ordering::SeqCst);
+        CONTENDED[slot].store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fold() {
+        reset_latches();
+        record_latch(3, false);
+        record_latch(3, true);
+        record_latch(3 + LATCH_SLOTS, false); // folds into slot 3
+        let slots = latch_slots(8);
+        assert_eq!(slots[3], (3, 1));
+        let (a, c) = latch_totals();
+        assert!(a >= 3 && c >= 1);
+        reset_latches();
+        assert_eq!(latch_slots(4), vec![(0, 0); 4]);
+    }
+}

@@ -117,6 +117,25 @@ mod tests {
     }
 
     #[test]
+    fn explicit_barriers_are_counted_separately_from_syncs() {
+        let (pager, wal) = journaled_pager(WalConfig {
+            sync_every: 4,
+            checkpoint_every: 0,
+        });
+        run_ops(&pager, 2); // both deferred: no sync yet
+        assert_eq!(wal.stats().barriers, 0);
+        assert!(pager.publish_barrier(), "overlay was dirty");
+        let stats = wal.stats();
+        assert_eq!(stats.barriers, 1, "one explicit barrier request");
+        assert_eq!(stats.syncs, 1, "the barrier forced exactly one fsync");
+        // An idle barrier is counted as a request but needs no fsync.
+        assert!(!pager.publish_barrier(), "nothing left to publish");
+        let stats = wal.stats();
+        assert_eq!(stats.barriers, 2);
+        assert_eq!(stats.syncs, 1);
+    }
+
+    #[test]
     fn group_commit_loses_at_most_the_unsynced_batch() {
         let (pager, wal) = journaled_pager(WalConfig {
             sync_every: 4,

@@ -72,6 +72,9 @@ pub struct WalStats {
     pub appended_bytes: u64,
     /// Durability barriers issued.
     pub syncs: u64,
+    /// Explicit [`Journal::barrier`] requests (the pager's group-commit
+    /// publish path), whether or not an fsync was needed.
+    pub barriers: u64,
     /// Checkpoint truncations performed.
     pub checkpoints: u64,
     /// Failed durability operations (append or fsync). The first one
@@ -279,7 +282,8 @@ impl Journal for Wal {
 
     fn barrier(&self) -> JournalAck {
         {
-            let inner = lock_unpoisoned(&self.inner);
+            let mut inner = lock_unpoisoned(&self.inner);
+            inner.stats.barriers += 1;
             if inner.poisoned {
                 return JournalAck::Lost;
             }

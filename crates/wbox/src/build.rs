@@ -11,6 +11,7 @@
 use crate::node::{LeafRecord, WEntry, WNode};
 use crate::tree::WBox;
 use boxes_lidf::{BlockPtrRecord, Lid};
+use boxes_pager::codec::usize_to_u64;
 use boxes_pager::BlockId;
 use boxes_trace::OpSpan;
 use std::collections::HashMap;
@@ -38,7 +39,7 @@ impl LeafUnit {
     /// Weight as charged by the W-BOX balance invariant: live records plus
     /// tombstones.
     pub fn weight(&self) -> u64 {
-        self.recs.len() as u64 + self.tombstones as u64
+        usize_to_u64(self.recs.len()) + u64::from(self.tombstones)
     }
 }
 
@@ -124,7 +125,7 @@ impl WBox {
         self.note_relabel(0, u64::MAX);
         let mut records = Vec::with_capacity(self.len() as usize);
         self.collect_records_and_free(self.root_id(), &mut records);
-        let live = records.len() as u64;
+        let live = usize_to_u64(records.len());
         if records.is_empty() {
             let root = self.pager().alloc();
             self.write_node(root, &WNode::leaf(0));

@@ -6,7 +6,7 @@
 //! reached the pager outside any span, i.e. the observability wiring has a
 //! hole; the gate fails.
 //!
-//! The identity is also enforced with **concurrent sessions**: four
+//! The identity is also enforced with **concurrent sessions**: eight
 //! snapshot readers (each a `boxes-session` reader with its own trace
 //! session) perform fixed lookups while the writer streams — per-session
 //! attributed counters plus unattributed must equal the pager I/O delta
@@ -254,7 +254,7 @@ impl Relay {
     }
 }
 
-/// Concurrent-session leg: four reader threads hold open snapshot
+/// Concurrent-session leg: eight reader threads hold open snapshot
 /// sessions — all live at once for the entire leg — and each performs a
 /// fixed lookup batch per relay round while the writer session streams
 /// inserts on this thread. The accounting identity must hold *with
@@ -264,8 +264,8 @@ impl Relay {
 /// The relay keeps trace ticks deterministic, so the leg's spans land
 /// byte-stably in `trace-report.json`.
 fn profile_sessions() -> Result<(), String> {
-    const READERS: usize = 4;
-    const PARTIES: u64 = READERS as u64 + 1; // writer is participant 4
+    const READERS: usize = 8;
+    const PARTIES: u64 = READERS as u64 + 1; // the writer is the last participant
     const ROUNDS: u64 = 5;
     const BATCH: usize = 8; // lookups per reader per round
     let block_size = 1024;
@@ -296,7 +296,7 @@ fn profile_sessions() -> Result<(), String> {
             let lids = lids.clone();
             std::thread::spawn(move || -> Result<(IoStats, trace::TraceCounters), String> {
                 // Turn r of round 0: open this reader's session. It
-                // stays open across every later round, so all four
+                // stays open across every later round, so all eight
                 // sessions (plus the writer) are live concurrently.
                 relay.wait_for(r as u64);
                 let snap = manager.snapshot().map_err(|e| e.to_string())?;
@@ -364,7 +364,7 @@ where
 {
     const LOOKUPS: u64 = 64;
     let mut legs = Vec::new();
-    for threads in [1usize, 4, 8] {
+    for threads in [1usize, 4, 8, 16] {
         let manager = Arc::new(SessionManager::<S>::create(
             journaled_pager(1024),
             config.clone(),

@@ -1,11 +1,16 @@
-//! The session stress pass: four snapshot readers racing one streaming
-//! writer under fixed seeds. Each reader holds one *long-lived* snapshot
-//! for the whole run (its labels must never move, however many epochs the
-//! writer publishes over it) while also churning short-lived snapshots
-//! (whose epochs must be monotone and never torn). The pass ends with a
-//! pager audit — dropping every session must leave no pinned epoch, no
-//! frozen version, and no pinned pool frame behind — and writes the
-//! machine-readable `target/session-report.json` artifact.
+//! The session stress pass: eight snapshot readers racing one streaming
+//! writer under fixed seeds. Readers 0–3 each hold a *disjoint* quarter of
+//! the document (their probe lids never overlap, so their reads land on
+//! mostly-disjoint page-table shards); readers 4–7 probe the *full* range,
+//! overlapping each other and the disjoint group on the same shards. Each
+//! reader holds one *long-lived* snapshot for the whole run (its labels
+//! must never move, however many epochs the writer publishes over it)
+//! while also churning short-lived snapshots (whose epochs must be
+//! monotone and never torn). The pass ends with a pager audit — dropping
+//! every session must leave no pinned epoch, no frozen version, and no
+//! pinned pool frame behind — and writes the machine-readable
+//! `target/session-report.json` artifact (schema `boxes-session/2`,
+//! including the per-seed shard-latch tallies).
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -18,8 +23,11 @@ use boxes_core::wbox::WBoxConfig;
 use boxes_core::{LabelingScheme, WBoxScheme};
 use boxes_session::SessionManager;
 
-/// Reader threads per seed.
-const READERS: usize = 4;
+/// Reader threads per seed: the first `DISJOINT_READERS` probe disjoint
+/// lid quarters, the rest probe the full overlapping range.
+const READERS: usize = 8;
+/// Readers pinned to disjoint quarters of the document.
+const DISJOINT_READERS: usize = 4;
 /// Writer operations per seed (beyond the bulk load).
 const OPS: usize = 80;
 /// The fixed stress seeds (CI runs exactly these).
@@ -37,6 +45,10 @@ struct SeedStats {
     seed: u64,
     final_epoch: u64,
     readers: Vec<ReaderStats>,
+    /// Page-table shard latch acquisitions across the whole run.
+    shard_acquisitions: u64,
+    /// How many of those found the shard mutex already held.
+    shard_contended: u64,
 }
 
 fn journaled_pager(block_size: usize) -> SharedPager {
@@ -75,17 +87,30 @@ fn stress(seed: u64) -> Result<SeedStats, String> {
     };
 
     let done = Arc::new(AtomicBool::new(false));
-    let readers: Vec<_> = (0..READERS)
-        .map(|r| {
+    // Open every long-lived snapshot *at the baseline epoch*, before the
+    // writer streams: all probe lids are alive there, and the pager must
+    // keep frozen pre-images of every block the writer later touches until
+    // the owning thread exits.
+    let mut helds = Vec::new();
+    for _ in 0..READERS {
+        helds.push(manager.snapshot().map_err(|e| e.to_string())?);
+    }
+    let readers: Vec<_> = helds
+        .into_iter()
+        .enumerate()
+        .map(|(r, held)| {
             let manager = Arc::clone(&manager);
             let done = Arc::clone(&done);
-            let probe = lids[r * 3 % lids.len()];
+            // Disjoint quarters for readers 0–3; the full overlapping
+            // range for 4–7 — both shard-access patterns stay covered.
+            let quarter = lids.len() / DISJOINT_READERS;
+            let probes: Vec<_> = if r < DISJOINT_READERS {
+                lids[r * quarter..(r + 1) * quarter].to_vec()
+            } else {
+                lids.clone()
+            };
             std::thread::spawn(move || -> Result<ReaderStats, String> {
-                // The long-lived snapshot: pinned across the entire writer
-                // stream, so the pager must keep frozen pre-images of every
-                // block the writer touches until this thread exits.
-                let held = manager.snapshot().map_err(|e| e.to_string())?;
-                let frozen = held.lookup(probe);
+                let frozen: Vec<u64> = probes.iter().map(|&p| held.lookup(p)).collect();
                 let held_len = held.len();
                 let mut last_epoch = 0u64;
                 let mut snapshots = 0u64;
@@ -111,7 +136,8 @@ fn stress(seed: u64) -> Result<SeedStats, String> {
                     snapshots += 1;
                     reads += snap.io().reads;
                     drop(snap);
-                    if held.lookup(probe) != frozen || held.len() != held_len {
+                    let now: Vec<u64> = probes.iter().map(|&p| held.lookup(p)).collect();
+                    if now != frozen || held.len() != held_len {
                         return Err(format!(
                             "held snapshot (epoch {}) moved under the writer",
                             held.epoch()
@@ -177,20 +203,28 @@ fn stress(seed: u64) -> Result<SeedStats, String> {
             report.violations().first()
         ));
     }
+    let (shard_acquisitions, shard_contended) = manager
+        .shard_stats()
+        .iter()
+        .fold((0, 0), |(a, c), s| (a + s.acquisitions, c + s.contended));
     Ok(SeedStats {
         seed,
         final_epoch: manager.pager().published_epoch(),
         readers: stats,
+        shard_acquisitions,
+        shard_contended,
     })
 }
 
-/// Render `session-report.json` (schema `boxes-session/1`). Snapshot
-/// counts are timing-dependent by design — the artifact records what the
-/// stress actually exercised, not a deterministic trajectory.
+/// Render `session-report.json` (schema `boxes-session/2`). Snapshot and
+/// latch counts are timing-dependent by design — the artifact records what
+/// the stress actually exercised, not a deterministic trajectory.
 fn render_report(seeds: &[SeedStats]) -> String {
     let mut out = String::with_capacity(1024);
-    out.push_str("{\"schema\":\"boxes-session/1\",\"scheme\":\"W-BOX\",\"readers\":");
+    out.push_str("{\"schema\":\"boxes-session/2\",\"scheme\":\"W-BOX\",\"readers\":");
     out.push_str(&READERS.to_string());
+    out.push_str(",\"disjoint_readers\":");
+    out.push_str(&DISJOINT_READERS.to_string());
     out.push_str(",\"writer_ops\":");
     out.push_str(&OPS.to_string());
     out.push_str(",\"seeds\":[");
@@ -202,6 +236,10 @@ fn render_report(seeds: &[SeedStats]) -> String {
         out.push_str(&s.seed.to_string());
         out.push_str(",\"final_epoch\":");
         out.push_str(&s.final_epoch.to_string());
+        out.push_str(",\"shard_acquisitions\":");
+        out.push_str(&s.shard_acquisitions.to_string());
+        out.push_str(",\"shard_contended\":");
+        out.push_str(&s.shard_contended.to_string());
         out.push_str(",\"readers\":[");
         for (ri, r) in s.readers.iter().enumerate() {
             if ri > 0 {
